@@ -1,0 +1,101 @@
+// Command elasticrec regenerates every table and figure of the ElasticRec
+// paper (ISCA 2024) from this repository's implementation.
+//
+// Usage:
+//
+//	elasticrec <experiment> [...]
+//	elasticrec all
+//
+// Experiments: tables, fig3, fig5, fig6, fig9, fig12a, fig12b, fig12c,
+// fig12d, fig13, fig14, fig15, fig16, fig17, fig18, fig19, fig20.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func() (*core.Table, error)
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"tables", "Tables I & II: workload configurations", func() (*core.Table, error) { return core.TablesIandII(), nil }},
+		{"fig3", "Fig. 3: dense vs sparse occupancy", core.Figure3},
+		{"fig5", "Fig. 5: per-layer QPS", core.Figure5},
+		{"fig6", "Fig. 6: access-frequency distributions", func() (*core.Table, error) { return core.Figure6(0, 0) }},
+		{"fig9", "Fig. 9: gather QPS curve", core.Figure9},
+		{"fig12a", "Fig. 12a: memory vs MLP size", core.Figure12a},
+		{"fig12b", "Fig. 12b: memory vs locality", core.Figure12b},
+		{"fig12c", "Fig. 12c: memory vs table count", core.Figure12c},
+		{"fig12d", "Fig. 12d: memory vs shard count", core.Figure12d},
+		{"fig13", "Fig. 13: CPU-only memory", core.Figure13},
+		{"fig14", "Fig. 14: CPU-only memory utility", core.Figure14},
+		{"fig15", "Fig. 15: CPU-only server count", core.Figure15},
+		{"fig16", "Fig. 16: CPU-GPU memory", core.Figure16},
+		{"fig17", "Fig. 17: CPU-GPU memory utility", core.Figure17},
+		{"fig18", "Fig. 18: CPU-GPU server count", core.Figure18},
+		{"fig19", "Fig. 19: dynamic traffic timeline", core.Figure19},
+		{"fig20", "Fig. 20: GPU embedding cache baseline", core.Figure20},
+		{"schemes", "Extension: row-wise vs column-/table-wise partitioning", core.SchemesTable},
+		{"stress", "Sec. IV-D: live shard QPSmax stress test", core.StressTable},
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: elasticrec <experiment> [...] | all")
+	fmt.Fprintln(os.Stderr, "experiments:")
+	exps := experiments()
+	names := make([]string, 0, len(exps))
+	byName := map[string]experiment{}
+	for _, e := range exps {
+		names = append(names, e.name)
+		byName[e.name] = e
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(os.Stderr, "  %-8s %s\n", n, byName[n].desc)
+	}
+}
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	exps := experiments()
+	byName := map[string]experiment{}
+	for _, e := range exps {
+		byName[e.name] = e
+	}
+	var selected []experiment
+	if len(args) == 1 && strings.EqualFold(args[0], "all") {
+		selected = exps
+	} else {
+		for _, a := range args {
+			e, ok := byName[strings.ToLower(a)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q\n\n", a)
+				usage()
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+	for _, e := range selected {
+		t, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(t.String())
+	}
+}

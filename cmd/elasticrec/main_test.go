@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	exps := experiments()
+	want := []string{
+		"tables", "fig3", "fig5", "fig6", "fig9",
+		"fig12a", "fig12b", "fig12c", "fig12d",
+		"fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
+		"schemes", "stress",
+	}
+	byName := map[string]experiment{}
+	for _, e := range exps {
+		byName[e.name] = e
+	}
+	for _, name := range want {
+		e, ok := byName[name]
+		if !ok {
+			t.Errorf("experiment %s missing from registry", name)
+			continue
+		}
+		if e.run == nil || e.desc == "" {
+			t.Errorf("experiment %s incomplete", name)
+		}
+	}
+	if len(exps) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(exps), len(want))
+	}
+}
+
+func TestFastExperimentsProduceTables(t *testing.T) {
+	// Run the cheap experiments end-to-end through the registry; the
+	// expensive ones are covered by internal/core tests and benchmarks.
+	fast := map[string]bool{"tables": true, "fig3": true, "fig5": true, "fig9": true}
+	for _, e := range experiments() {
+		if !fast[e.name] {
+			continue
+		}
+		tab, err := e.run()
+		if err != nil {
+			t.Fatalf("%s: %v", e.name, err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s: empty table", e.name)
+		}
+		if !strings.Contains(tab.String(), tab.Header[0]) {
+			t.Fatalf("%s: render broken", e.name)
+		}
+	}
+}

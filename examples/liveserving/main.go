@@ -1,0 +1,154 @@
+// Liveserving: real microservices on loopback TCP with a live autoscaler.
+//
+// Every embedding shard runs behind its own net/rpc server (the stand-in
+// for the paper's gRPC mesh); a round-robin replica pool plays Linkerd; an
+// HPA-style control loop watches the offered load and scales shard
+// replicas in and out while a Poisson client drives stepped traffic.
+//
+// Run with: go run ./examples/liveserving [-duration 12s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"repro/internal/embedding"
+	"repro/internal/model"
+	"repro/internal/serving"
+	"repro/internal/workload"
+)
+
+func main() {
+	duration := flag.Duration("duration", 12*time.Second, "how long to drive traffic")
+	flag.Parse()
+
+	cfg := model.RM1().WithRows(20_000).WithName("rm1-live")
+	cfg.NumTables = 4 // keep the socket count friendly
+	m, err := model.New(cfg, 77)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Profile, then build a 3-shard deployment over loopback TCP.
+	sampler, err := workload.NewPowerLawSampler(cfg.RowsPerTable, cfg.LocalityP, 0.9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen, err := workload.NewQueryGenerator(sampler, workload.NewShuffledMapping(cfg.RowsPerTable, 3),
+		cfg.BatchSize, cfg.Pooling, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	perTable := make([][]*embedding.Batch, cfg.NumTables)
+	for t := range perTable {
+		for q := 0; q < 100; q++ {
+			perTable[t] = append(perTable[t], gen.Next())
+		}
+	}
+	stats, err := serving.CollectStats(cfg, perTable)
+	if err != nil {
+		log.Fatal(err)
+	}
+	boundaries := []int64{2_000, 8_000, cfg.RowsPerTable}
+	ld, err := serving.BuildElastic(m, stats, boundaries, serving.BuildOptions{
+		Transport: serving.TransportTCP,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ld.Close()
+	fmt.Printf("deployed %d embedding shards x %d tables over TCP microservices\n",
+		len(boundaries), cfg.NumTables)
+
+	// Live autoscaler: every shard scales on the offered QPS, with the
+	// hotter shards given lower per-replica QPSmax thresholds.
+	var mu sync.Mutex
+	currentQPS := 0.0
+	scaled := []*serving.AutoscaledShard{}
+	for t := 0; t < cfg.NumTables; t++ {
+		for s := 0; s < len(boundaries); s++ {
+			t, s := t, s
+			lo := int64(0)
+			if s > 0 {
+				lo = boundaries[s-1]
+			}
+			hi := boundaries[s]
+			scaled = append(scaled, &serving.AutoscaledShard{
+				Name:   fmt.Sprintf("t%d-s%d", t, s),
+				Pool:   ld.Pools[t][s],
+				QPSMax: 20 * float64(s+1), // hotter shards saturate sooner
+				Spawn: func() (serving.GatherClient, error) {
+					return serving.NewEmbeddingShard(t, s, ld.Pre.Sorted[t], lo, hi)
+				},
+				MaxReplicas: 6,
+			})
+		}
+	}
+	as := &serving.LiveAutoscaler{
+		Shards:   scaled,
+		Interval: 500 * time.Millisecond,
+		OfferedQPS: func(string) float64 {
+			mu.Lock()
+			defer mu.Unlock()
+			return currentQPS
+		},
+	}
+	as.Start()
+	defer as.Stop()
+
+	// Drive stepped Poisson traffic: low -> high -> low.
+	pattern, err := workload.NewTrafficPattern([]workload.TrafficPhase{
+		{Start: 0, TargetQPS: 10},
+		{Start: *duration / 3, TargetQPS: 60},
+		{Start: 2 * *duration / 3, TargetQPS: 15},
+	}, *duration)
+	if err != nil {
+		log.Fatal(err)
+	}
+	arrivals := workload.NewPoissonArrivals(pattern, 9)
+	start := time.Now()
+	var wg sync.WaitGroup
+	served := 0
+	for {
+		at, ok := arrivals.Next()
+		if !ok {
+			break
+		}
+		time.Sleep(time.Until(start.Add(at)))
+		mu.Lock()
+		currentQPS = pattern.QPSAt(at)
+		mu.Unlock()
+		wg.Add(1)
+		served++
+		go func() {
+			defer wg.Done()
+			req := &serving.PredictRequest{
+				BatchSize: cfg.BatchSize,
+				DenseDim:  cfg.DenseInputDim,
+				Dense:     make([]float32, cfg.BatchSize*cfg.DenseInputDim),
+			}
+			for t := 0; t < cfg.NumTables; t++ {
+				b := gen.Next()
+				req.Tables = append(req.Tables, serving.TableBatch{Indices: b.Indices, Offsets: b.Offsets})
+			}
+			var reply serving.PredictReply
+			if err := ld.Predict(req, &reply); err != nil {
+				log.Printf("predict: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	fmt.Printf("served %d queries over %v\n", served, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("dense shard: P50=%v P95=%v\n",
+		ld.Dense.Latency.Quantile(0.50).Round(time.Microsecond),
+		ld.Dense.Latency.Quantile(0.95).Round(time.Microsecond))
+	for s := 0; s < len(boundaries); s++ {
+		fmt.Printf("table0 shard %d: replicas=%d utility=%.1f%% P95=%v\n",
+			s+1, ld.Pools[0][s].Size(), 100*ld.ShardUtility(0, s),
+			ld.Shards[0][s].Latency.Quantile(0.95).Round(time.Microsecond))
+	}
+}

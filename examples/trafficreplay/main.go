@@ -1,0 +1,73 @@
+// Trafficreplay: the Fig. 19 dynamic-traffic experiment with custom knobs.
+//
+// Simulates a Kubernetes cluster serving the chosen model as traffic steps
+// up and down (the paper's 30-minute staircase), with HPA controllers
+// scaling each shard deployment and pod cold-starts gating capacity.
+// Prints the minute-by-minute timeline for model-wise and ElasticRec.
+//
+// Run with: go run ./examples/trafficreplay [-peak 250] [-model RM1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/deploy"
+	"repro/internal/model"
+	"repro/internal/perfmodel"
+)
+
+func main() {
+	peak := flag.Float64("peak", 250, "peak offered QPS")
+	modelName := flag.String("model", "RM1", "RM1 | RM2 | RM3")
+	flag.Parse()
+
+	var cfg model.Config
+	switch *modelName {
+	case "RM1":
+		cfg = model.RM1()
+	case "RM2":
+		cfg = model.RM2()
+	case "RM3":
+		cfg = model.RM3()
+	default:
+		log.Fatalf("unknown model %q", *modelName)
+	}
+
+	dc := core.DynamicTrafficConfig{
+		Platform: perfmodel.CPUOnly,
+		Model:    cfg,
+		PeakQPS:  *peak,
+	}
+	mw, err := core.RunDynamicTraffic(dc, deploy.PolicyModelWise)
+	if err != nil {
+		log.Fatal(err)
+	}
+	er, err := core.RunDynamicTraffic(dc, deploy.PolicyElastic)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("dynamic traffic replay: %s, peak %.0f QPS, SLA 400ms\n\n", cfg.Name, *peak)
+	fmt.Printf("%6s %8s | %8s %9s %9s | %8s %9s %9s\n",
+		"minute", "target", "MW QPS", "MW mem", "MW tail", "ER QPS", "ER mem", "ER tail")
+	for i := range mw.Points {
+		m := mw.Points[i]
+		if m.Time%time.Minute != 0 {
+			continue
+		}
+		e := er.Points[i]
+		fmt.Printf("%6.0f %8.0f | %8.0f %8.1fG %9v | %8.0f %8.1fG %9v\n",
+			m.Time.Minutes(), m.TargetQPS,
+			m.AchievedQPS, float64(m.MemBytes)/(1<<30), m.TailLatency.Round(time.Millisecond),
+			e.AchievedQPS, float64(e.MemBytes)/(1<<30), e.TailLatency.Round(time.Millisecond))
+	}
+	fmt.Printf("\npeak memory: model-wise %.0f GB vs ElasticRec %.0f GB (%.1fx)\n",
+		float64(mw.PeakMemBytes)/(1<<30), float64(er.PeakMemBytes)/(1<<30),
+		float64(mw.PeakMemBytes)/float64(er.PeakMemBytes))
+	fmt.Printf("SLA violations (10s samples): model-wise %d, ElasticRec %d\n",
+		mw.SLAViolations, er.SLAViolations)
+}

@@ -1,0 +1,114 @@
+// Package bucketize implements Sec. IV-C: translating a query's
+// index/offset arrays, expressed against the original (hotness-sorted)
+// embedding table, into per-shard index/offset arrays whose IDs are
+// rebased to each shard's local index space (Fig. 11). It also provides
+// the inverse reduction — merging the per-shard pooled partial sums back
+// into the full pooled embedding — which is exact because sum-pooling is
+// associative and commutative.
+package bucketize
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/embedding"
+	"repro/internal/tensor"
+)
+
+// Split partitions batch across the shards described by boundaries (the
+// partition.Plan boundary list: shard s spans rows
+// [boundaries[s-1], boundaries[s]) of the sorted table). The returned
+// slice has one batch per shard, each with the same logical batch size as
+// the input; shard-local indices are rebased so every shard's IDs start at
+// 0 (Fig. 11(c)). Indices outside [0, boundaries[last]) are an error.
+func Split(batch *embedding.Batch, boundaries []int64) ([]*embedding.Batch, error) {
+	if len(boundaries) == 0 {
+		return nil, fmt.Errorf("bucketize: no shard boundaries")
+	}
+	if err := batch.Validate(); err != nil {
+		return nil, fmt.Errorf("bucketize: %w", err)
+	}
+	prev := int64(0)
+	for i, b := range boundaries {
+		if b <= prev {
+			return nil, fmt.Errorf("bucketize: boundary %d (%d) not increasing past %d", i, b, prev)
+		}
+		prev = b
+	}
+	rows := boundaries[len(boundaries)-1]
+	numShards := len(boundaries)
+	bs := batch.BatchSize()
+
+	out := make([]*embedding.Batch, numShards)
+	for s := range out {
+		out[s] = &embedding.Batch{Offsets: make([]int32, bs)}
+	}
+	for i := 0; i < bs; i++ {
+		for s := range out {
+			out[s].Offsets[i] = int32(len(out[s].Indices))
+		}
+		for _, idx := range batch.InputIndices(i) {
+			if idx < 0 || idx >= rows {
+				return nil, fmt.Errorf("bucketize: index %d outside table of %d rows", idx, rows)
+			}
+			s := ShardOf(idx, boundaries)
+			lo := int64(0)
+			if s > 0 {
+				lo = boundaries[s-1]
+			}
+			out[s].Indices = append(out[s].Indices, idx-lo)
+		}
+	}
+	return out, nil
+}
+
+// ShardOf returns the shard index owning sorted row idx under the given
+// boundaries, via binary search.
+func ShardOf(idx int64, boundaries []int64) int {
+	return sort.Search(len(boundaries), func(s int) bool { return idx < boundaries[s] })
+}
+
+// MergePooled sums the per-shard pooled outputs into dst. Each part must
+// have dst's shape (batchSize x dim); parts[s].Row(i) is shard s's partial
+// sum for input i. Because the embedding layer pools with element-wise
+// addition, summing partial pools reconstructs the monolithic result
+// exactly.
+func MergePooled(dst *tensor.Matrix, parts []*tensor.Matrix) error {
+	if dst == nil {
+		return fmt.Errorf("bucketize: nil destination")
+	}
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	for s, part := range parts {
+		if part == nil {
+			return fmt.Errorf("bucketize: nil part %d", s)
+		}
+		if part.Rows != dst.Rows || part.Cols != dst.Cols {
+			return fmt.Errorf("bucketize: part %d shape %dx%d != dst %dx%d",
+				s, part.Rows, part.Cols, dst.Rows, dst.Cols)
+		}
+		for i, v := range part.Data {
+			dst.Data[i] += v
+		}
+	}
+	return nil
+}
+
+// LookupCounts returns how many gathers each shard receives for the batch,
+// without materialising the split — used by the simulator to charge
+// per-shard gather work.
+func LookupCounts(batch *embedding.Batch, boundaries []int64) ([]int64, error) {
+	if len(boundaries) == 0 {
+		return nil, fmt.Errorf("bucketize: no shard boundaries")
+	}
+	rows := boundaries[len(boundaries)-1]
+	counts := make([]int64, len(boundaries))
+	for _, idx := range batch.Indices {
+		if idx < 0 || idx >= rows {
+			return nil, fmt.Errorf("bucketize: index %d outside table of %d rows", idx, rows)
+		}
+		counts[ShardOf(idx, boundaries)]++
+	}
+	return counts, nil
+}

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/perfmodel"
+)
+
+// SchemesTable compares the partitioning plans discussed in the paper's
+// related work (row-wise — ElasticRec's DP over the sorted table — versus
+// table-wise and column-wise splits) under the same Algorithm 1 cost model,
+// for each Table II workload on the CPU-only platform.
+func SchemesTable() (*Table, error) {
+	sys, err := NewSystem(perfmodel.CPUOnly)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Partitioning schemes: expected per-table memory at DP target traffic",
+		Header: []string{"model", "scheme", "shards", "memory (GB)", "vs row-wise"},
+	}
+	for _, cfg := range model.StateOfTheArt() {
+		schemes, err := sys.Planner.CompareSchemes(cfg, []int{2, 4, 8})
+		if err != nil {
+			return nil, err
+		}
+		rowWise := schemes[0].MemoryBytes
+		for _, s := range schemes {
+			t.Rows = append(t.Rows, []string{
+				cfg.Name, s.Scheme, fmt.Sprintf("%d", s.Shards),
+				gb(s.MemoryBytes), f2(s.MemoryBytes/rowWise) + "x",
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"row-wise over the hotness-sorted table is the only scheme that can exploit skew: column-wise shards serve every gather and table-wise cannot split at all (Sec. II-D / Mudigere et al. discussion)")
+	return t, nil
+}

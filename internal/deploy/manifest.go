@@ -1,0 +1,86 @@
+package deploy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file is the concrete output of Fig. 7's "Deployment Module":
+// rendering a plan as Kubernetes-style manifests — one Deployment plus one
+// HorizontalPodAutoscaler per shard type — so the plan can be inspected,
+// diffed and applied by standard tooling. The YAML is generated
+// structurally (no templating library) and kept to the subset of fields
+// the paper's deployment relies on.
+
+// Manifests renders the plan as a multi-document YAML string.
+func (p *Plan) Manifests() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# deployment plan: %s / %s / policy=%s / target=%.0f QPS\n",
+		p.Model.Name, p.Platform, p.Policy, p.TargetQPS)
+	for i := range p.Shards {
+		s := &p.Shards[i]
+		writeDeploymentYAML(&b, s)
+		writeHPAYAML(&b, s)
+	}
+	return b.String()
+}
+
+func writeDeploymentYAML(b *strings.Builder, s *ShardSpec) {
+	name := sanitizeName(s.Name)
+	fmt.Fprintf(b, "---\napiVersion: apps/v1\nkind: Deployment\nmetadata:\n")
+	fmt.Fprintf(b, "  name: %s\n  labels:\n    app: %s\n    shard-kind: %s\n", name, name, s.Kind)
+	if s.Kind == KindEmbedding {
+		fmt.Fprintf(b, "    table: %q\n    shard: %q\n", fmt.Sprint(s.Table), fmt.Sprint(s.Shard))
+	}
+	fmt.Fprintf(b, "spec:\n  replicas: %d\n  selector:\n    matchLabels:\n      app: %s\n", s.Replicas, name)
+	fmt.Fprintf(b, "  template:\n    metadata:\n      labels:\n        app: %s\n", name)
+	fmt.Fprintf(b, "    spec:\n      containers:\n      - name: %s\n        image: elasticrec/%s:latest\n", name, s.Kind)
+	fmt.Fprintf(b, "        resources:\n          requests:\n")
+	fmt.Fprintf(b, "            cpu: %dm\n            memory: %dMi\n", s.Resources.CPUMilli, s.Resources.MemBytes>>20)
+	if s.Resources.GPUs > 0 {
+		fmt.Fprintf(b, "            nvidia.com/gpu: %d\n", s.Resources.GPUs)
+	}
+	if s.Kind == KindEmbedding {
+		fmt.Fprintf(b, "        env:\n")
+		fmt.Fprintf(b, "        - name: SHARD_ROW_LO\n          value: %q\n", fmt.Sprint(s.RowLo))
+		fmt.Fprintf(b, "        - name: SHARD_ROW_HI\n          value: %q\n", fmt.Sprint(s.RowHi))
+	}
+	fmt.Fprintf(b, "        readinessProbe:\n          initialDelaySeconds: %d\n", int(s.ColdStart.Seconds()))
+}
+
+func writeHPAYAML(b *strings.Builder, s *ShardSpec) {
+	name := sanitizeName(s.Name)
+	fmt.Fprintf(b, "---\napiVersion: autoscaling/v2\nkind: HorizontalPodAutoscaler\nmetadata:\n  name: %s\n", name)
+	fmt.Fprintf(b, "spec:\n  scaleTargetRef:\n    apiVersion: apps/v1\n    kind: Deployment\n    name: %s\n", name)
+	fmt.Fprintf(b, "  minReplicas: %d\n", s.HPA.MinReplicas)
+	max := s.HPA.MaxReplicas
+	if max <= 0 {
+		max = 512
+	}
+	fmt.Fprintf(b, "  maxReplicas: %d\n  metrics:\n  - type: Pods\n    pods:\n      metric:\n", max)
+	switch s.HPA.Kind {
+	case "qps-per-replica":
+		fmt.Fprintf(b, "        name: queries_per_second\n")
+		fmt.Fprintf(b, "      target:\n        type: AverageValue\n        averageValue: %q\n",
+			fmt.Sprintf("%.1f", s.HPA.Target))
+	default:
+		fmt.Fprintf(b, "        name: p95_latency_seconds\n")
+		fmt.Fprintf(b, "      target:\n        type: AverageValue\n        averageValue: %q\n",
+			fmt.Sprintf("%.3f", s.HPA.Target))
+	}
+}
+
+// sanitizeName makes a shard name a valid DNS-1123 label.
+func sanitizeName(name string) string {
+	lower := strings.ToLower(name)
+	var out strings.Builder
+	for _, r := range lower {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+			out.WriteRune(r)
+		default:
+			out.WriteByte('-')
+		}
+	}
+	return strings.Trim(out.String(), "-")
+}

@@ -1,0 +1,73 @@
+package deploy
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/perfmodel"
+)
+
+func TestManifestsRenderElastic(t *testing.T) {
+	pl := planner(t, perfmodel.CPUOnly)
+	plan, err := pl.PlanElastic(model.RM1(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := plan.Manifests()
+	// One Deployment + one HPA per shard type (scaleTargetRef also says
+	// "kind: Deployment", so anchor on the preceding apiVersion).
+	if got := strings.Count(y, "apiVersion: apps/v1\nkind: Deployment"); got != len(plan.Shards) {
+		t.Fatalf("deployments = %d, want %d", got, len(plan.Shards))
+	}
+	if got := strings.Count(y, "kind: HorizontalPodAutoscaler"); got != len(plan.Shards) {
+		t.Fatalf("HPAs = %d, want %d", got, len(plan.Shards))
+	}
+	for _, want := range []string{
+		"rm1-dense",
+		"rm1-t0-s0",
+		"queries_per_second",
+		"p95_latency_seconds",
+		"SHARD_ROW_LO",
+		"readinessProbe",
+	} {
+		if !strings.Contains(y, want) {
+			t.Fatalf("manifests missing %q", want)
+		}
+	}
+	// Object names (metadata.name at indent 2) must be DNS-1123-safe.
+	for _, line := range strings.Split(y, "\n") {
+		if strings.HasPrefix(line, "  name: ") {
+			val := strings.TrimSpace(strings.TrimPrefix(line, "  name: "))
+			if val != strings.ToLower(val) || strings.ContainsAny(val, "_ ") {
+				t.Fatalf("invalid object name %q", val)
+			}
+		}
+	}
+}
+
+func TestManifestsRenderGPU(t *testing.T) {
+	pl := planner(t, perfmodel.CPUGPU)
+	plan, err := pl.PlanElastic(model.RM1(), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := plan.Manifests()
+	if !strings.Contains(y, "nvidia.com/gpu: 1") {
+		t.Fatal("GPU request missing from dense shard manifest")
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	cases := map[string]string{
+		"RM1-dense":  "rm1-dense",
+		"RM1_t0.s1":  "rm1-t0-s1",
+		"--weird--":  "weird",
+		"UPPER CASE": "upper-case",
+	}
+	for in, want := range cases {
+		if got := sanitizeName(in); got != want {
+			t.Errorf("sanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

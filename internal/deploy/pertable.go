@@ -1,0 +1,168 @@
+package deploy
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/partition"
+)
+
+// The paper's workloads use i.i.d. tables, so PlanElastic partitions once
+// and reuses the plan. Production models have heterogeneous tables — some
+// near-uniform, some hot — so this file adds per-table planning: each
+// table gets its own CDF, its own Algorithm 2 run and its own shard specs,
+// exactly as Sec. VI-A describes ("ElasticRec applies its table
+// partitioning algorithm separately for each individual table").
+
+// PlanElasticPerTable builds an ElasticRec plan where table t is
+// partitioned against cdfs[t]. len(cdfs) must equal cfg.NumTables and each
+// CDF must cover cfg.RowsPerTable rows.
+func (pl *Planner) PlanElasticPerTable(cfg model.Config, targetQPS float64, cdfs []partition.CDF) (*Plan, error) {
+	if pl.Profile == nil {
+		return nil, fmt.Errorf("deploy: planner needs a hardware profile")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if targetQPS <= 0 {
+		return nil, fmt.Errorf("deploy: target QPS must be positive, got %v", targetQPS)
+	}
+	if len(cdfs) != cfg.NumTables {
+		return nil, fmt.Errorf("deploy: %d CDFs for %d tables", len(cdfs), cfg.NumTables)
+	}
+
+	p := pl.Profile
+	qps, err := p.BuildQPSModel(cfg.BatchSize, cfg.EmbeddingDim, cfg.Pooling)
+	if err != nil {
+		return nil, fmt.Errorf("deploy: QPS regression: %w", err)
+	}
+
+	plan := &Plan{
+		Policy:    PolicyElastic,
+		Model:     cfg,
+		Platform:  p.Platform,
+		TargetQPS: targetQPS,
+	}
+
+	denseQPS := p.DenseQPS(cfg)
+	denseName := fmt.Sprintf("%s-dense", cfg.Name)
+	plan.Shards = append(plan.Shards, ShardSpec{
+		Name:          denseName,
+		Kind:          KindDense,
+		Table:         -1,
+		Shard:         -1,
+		ParamBytes:    cfg.DenseBytes(),
+		MemBytes:      cfg.DenseBytes() + p.MinMemAlloc,
+		Resources:     pl.denseResources(cfg),
+		QPSPerReplica: denseQPS,
+		Replicas:      ceilDiv(targetQPS, denseQPS),
+		ColdStart:     p.ColdStart(cfg.DenseBytes()),
+		HPA: cluster.HPAPolicy{
+			Deployment:  denseName,
+			Kind:        cluster.MetricLatency,
+			Target:      pl.sla().Seconds() * HPALatencyFraction,
+			MinReplicas: 1,
+			QPSGuard:    denseQPS,
+		},
+	})
+
+	var maxShardLat time.Duration
+	contacted := 0
+	for t := 0; t < cfg.NumTables; t++ {
+		cdf := cdfs[t]
+		if cdf == nil {
+			return nil, fmt.Errorf("deploy: nil CDF for table %d", t)
+		}
+		if cdf.Rows() != cfg.RowsPerTable {
+			return nil, fmt.Errorf("deploy: table %d CDF covers %d rows, want %d",
+				t, cdf.Rows(), cfg.RowsPerTable)
+		}
+		cm := &partition.CostModel{
+			CDF:             cdf,
+			PoolingPerInput: float64(cfg.Pooling),
+			BatchSize:       cfg.BatchSize,
+			VectorBytes:     int64(cfg.EmbeddingDim) * 4,
+			MinMemAlloc:     p.MinMemAlloc,
+			TargetTraffic:   pl.dpTarget(),
+			QPS:             qps,
+		}
+		if err := cm.Validate(); err != nil {
+			return nil, fmt.Errorf("deploy: table %d: %w", t, err)
+		}
+		var tablePlan partition.Plan
+		if pl.ForceShards > 0 {
+			tablePlan, err = pl.Partitioner.PartitionFixedShards(cfg.RowsPerTable, pl.ForceShards, cm.CostFunc())
+		} else {
+			tablePlan, err = pl.Partitioner.Partition(cfg.RowsPerTable, cm.CostFunc())
+		}
+		if err != nil {
+			return nil, fmt.Errorf("deploy: partitioning table %d: %w", t, err)
+		}
+		if t == 0 {
+			plan.TablePlan = tablePlan
+		}
+		ests, err := cm.Evaluate(tablePlan)
+		if err != nil {
+			return nil, fmt.Errorf("deploy: evaluating table %d: %w", t, err)
+		}
+		contacted += len(ests)
+		for s, e := range ests {
+			name := fmt.Sprintf("%s-t%d-s%d", cfg.Name, t, s)
+			lat := p.ShardLatency(cfg.BatchSize, e.NS, cfg.EmbeddingDim)
+			if lat > maxShardLat {
+				maxShardLat = lat
+			}
+			plan.Shards = append(plan.Shards, ShardSpec{
+				Name:          name,
+				Kind:          KindEmbedding,
+				Table:         t,
+				Shard:         s,
+				RowLo:         e.Lo,
+				RowHi:         e.Hi,
+				ParamBytes:    e.CapacityBytes,
+				MemBytes:      e.CapacityBytes + p.MinMemAlloc,
+				Resources:     pl.embeddingResources(e.CapacityBytes),
+				QPSPerReplica: e.QPS,
+				NSPerInput:    e.NS,
+				Replicas:      ceilDiv(targetQPS, e.QPS),
+				ColdStart:     p.ColdStart(e.CapacityBytes),
+				HPA: cluster.HPAPolicy{
+					Deployment:  name,
+					Kind:        cluster.MetricQPSPerReplica,
+					Target:      e.QPS * HPAQPSHeadroom,
+					MinReplicas: 1,
+					Tolerance:   0.05,
+				},
+			})
+		}
+	}
+	plan.AvgLatency = p.ElasticLatency(cfg, contacted, maxShardLat)
+	return plan, nil
+}
+
+// TableBoundaries extracts the per-table shard boundaries from a plan in
+// the layout serving.BuildElastic-style consumers need: boundaries[t] is
+// table t's ascending boundary list. Works for both homogeneous and
+// per-table plans.
+func (p *Plan) TableBoundaries() ([][]int64, error) {
+	out := make([][]int64, p.Model.NumTables)
+	for _, s := range p.EmbeddingShards() {
+		if s.Table < 0 || s.Table >= len(out) {
+			return nil, fmt.Errorf("deploy: shard %s references table %d", s.Name, s.Table)
+		}
+		out[s.Table] = append(out[s.Table], s.RowHi)
+	}
+	for t, b := range out {
+		if p.Policy == PolicyElastic && len(b) == 0 {
+			return nil, fmt.Errorf("deploy: table %d has no shards", t)
+		}
+		for i := 1; i < len(b); i++ {
+			if b[i] <= b[i-1] {
+				return nil, fmt.Errorf("deploy: table %d boundaries not increasing: %v", t, b)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,78 @@
+package deploy
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// This file compares ElasticRec's hotness-sorted row-wise partitioning
+// against the alternative table-partitioning plans discussed in the
+// paper's related work (Mudigere et al.): table-wise and column-wise
+// splits. Neither alternative can exploit access skew — a column shard
+// participates in every gather regardless of hotness, and a table-wise
+// "shard" is the whole table — which is why the paper partitions row-wise
+// over the sorted table.
+
+// SchemeMemory is the expected fleet memory of one partitioning scheme for
+// a single table at the planner's DP target traffic.
+type SchemeMemory struct {
+	Scheme string
+	// Shards is the shard count per table under the scheme.
+	Shards int
+	// MemoryBytes is the expected memory for one table's deployment.
+	MemoryBytes float64
+}
+
+// CompareSchemes evaluates row-wise (the paper's DP), table-wise (one
+// shard per table) and column-wise (dimension split into k shards) plans
+// for one of cfg's tables under the same cost model, returning expected
+// memory per scheme. Column-wise is evaluated at each k in columnSplits.
+func (pl *Planner) CompareSchemes(cfg model.Config, columnSplits []int) ([]SchemeMemory, error) {
+	cm, err := pl.CostModel(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var out []SchemeMemory
+
+	// Row-wise: Algorithm 2 over the sorted CDF.
+	rowPlan, err := pl.Partitioner.Partition(cfg.RowsPerTable, cm.CostFunc())
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, SchemeMemory{
+		Scheme:      "row-wise (ElasticRec DP)",
+		Shards:      rowPlan.NumShards(),
+		MemoryBytes: rowPlan.Cost,
+	})
+
+	// Table-wise: the whole table is one shard; every query gathers the
+	// full pooling factor from it.
+	tableCost := cm.Cost(0, cfg.RowsPerTable)
+	out = append(out, SchemeMemory{
+		Scheme:      "table-wise",
+		Shards:      1,
+		MemoryBytes: tableCost,
+	})
+
+	// Column-wise: k shards each holding all rows at dim/k. Every shard
+	// services every gather (n_s = pooling) at the reduced row width.
+	for _, k := range columnSplits {
+		if k < 1 || cfg.EmbeddingDim%k != 0 {
+			return nil, fmt.Errorf("deploy: column split %d must divide dim %d", k, cfg.EmbeddingDim)
+		}
+		dim := cfg.EmbeddingDim / k
+		qps := pl.Profile.ShardQPS(cfg.BatchSize, float64(cfg.Pooling), dim)
+		replicas := cm.TargetTraffic / qps
+		if replicas < 1 {
+			replicas = 1
+		}
+		shardBytes := cfg.RowsPerTable*int64(dim)*4 + pl.Profile.MinMemAlloc
+		out = append(out, SchemeMemory{
+			Scheme:      fmt.Sprintf("column-wise k=%d", k),
+			Shards:      k,
+			MemoryBytes: float64(k) * replicas * float64(shardBytes),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,54 @@
+package deploy
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/perfmodel"
+)
+
+func TestCompareSchemes(t *testing.T) {
+	pl := planner(t, perfmodel.CPUOnly)
+	cfg := model.RM1()
+	schemes, err := pl.CompareSchemes(cfg, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(schemes) != 4 {
+		t.Fatalf("schemes = %d", len(schemes))
+	}
+	byName := map[string]SchemeMemory{}
+	for _, s := range schemes {
+		if s.MemoryBytes <= 0 || s.Shards < 1 {
+			t.Fatalf("bad scheme row: %+v", s)
+		}
+		byName[s.Scheme] = s
+	}
+	row := byName["row-wise (ElasticRec DP)"]
+	tab := byName["table-wise"]
+	// The paper's core claim: skew-aware row-wise partitioning beats the
+	// skew-blind alternatives.
+	if row.MemoryBytes >= tab.MemoryBytes {
+		t.Fatalf("row-wise %v must beat table-wise %v", row.MemoryBytes, tab.MemoryBytes)
+	}
+	for _, k := range []string{"column-wise k=2", "column-wise k=4"} {
+		if row.MemoryBytes >= byName[k].MemoryBytes {
+			t.Fatalf("row-wise %v must beat %s %v", row.MemoryBytes, k, byName[k].MemoryBytes)
+		}
+	}
+}
+
+func TestCompareSchemesValidation(t *testing.T) {
+	pl := planner(t, perfmodel.CPUOnly)
+	if _, err := pl.CompareSchemes(model.RM1(), []int{3}); err == nil {
+		t.Fatal("want error for split not dividing dim")
+	}
+	if _, err := pl.CompareSchemes(model.RM1(), []int{0}); err == nil {
+		t.Fatal("want error for zero split")
+	}
+	bad := model.RM1()
+	bad.Pooling = 0
+	if _, err := pl.CompareSchemes(bad, nil); err == nil {
+		t.Fatal("want config error")
+	}
+}

@@ -1,0 +1,229 @@
+// Package embedding implements the sparse-feature substrate of DLRM: the
+// embedding tables, multi-hot gather + sum-pooling lookups, per-row access
+// statistics, the one-time hotness sort the paper performs before
+// partitioning (Fig. 8), and the access-frequency CDF consumed by the
+// deployment-cost estimator (Algorithm 1).
+package embedding
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// BytesPerElement is the storage cost of one embedding element (float32).
+const BytesPerElement = 4
+
+var (
+	// ErrIndexRange is returned when a lookup index falls outside a table.
+	ErrIndexRange = errors.New("embedding: index out of range")
+	// ErrBadBatch is returned for malformed index/offset batches.
+	ErrBadBatch = errors.New("embedding: malformed batch")
+)
+
+// Table is a dense embedding table: Rows vectors of dimension Dim stored in
+// one contiguous float32 backing array. The paper's tables hold up to 20M
+// rows of dimension 32 (~2.5 GB each); tests and the live serving engine use
+// smaller geometries while the cost model performs exact arithmetic on the
+// full paper geometry.
+type Table struct {
+	Name string
+	Rows int64
+	Dim  int
+	data []float32
+}
+
+// NewTable allocates a zeroed table.
+func NewTable(name string, rows int64, dim int) (*Table, error) {
+	if rows <= 0 || dim <= 0 {
+		return nil, fmt.Errorf("embedding: invalid geometry rows=%d dim=%d", rows, dim)
+	}
+	return &Table{Name: name, Rows: rows, Dim: dim, data: make([]float32, rows*int64(dim))}, nil
+}
+
+// NewRandomTable allocates a table with deterministic pseudo-random values
+// in [-0.05, 0.05), seeded so serving tests are reproducible.
+func NewRandomTable(name string, rows int64, dim int, seed uint64) (*Table, error) {
+	t, err := NewTable(name, rows, dim)
+	if err != nil {
+		return nil, err
+	}
+	tensor.InitUniform(t.data, 0.05, seed)
+	return t, nil
+}
+
+// SizeBytes returns the parameter footprint in bytes.
+func (t *Table) SizeBytes() int64 { return t.Rows * int64(t.Dim) * BytesPerElement }
+
+// Vector returns a view of row i (no copy).
+func (t *Table) Vector(i int64) (tensor.Vector, error) {
+	if i < 0 || i >= t.Rows {
+		return nil, fmt.Errorf("%w: row %d of %d in table %q", ErrIndexRange, i, t.Rows, t.Name)
+	}
+	off := i * int64(t.Dim)
+	return tensor.Vector(t.data[off : off+int64(t.Dim)]), nil
+}
+
+// SetVector copies v into row i.
+func (t *Table) SetVector(i int64, v tensor.Vector) error {
+	if len(v) != t.Dim {
+		return fmt.Errorf("embedding: vector dim %d != table dim %d", len(v), t.Dim)
+	}
+	dst, err := t.Vector(i)
+	if err != nil {
+		return err
+	}
+	copy(dst, v)
+	return nil
+}
+
+// Slice returns a new Table containing rows [lo, hi) of t. The returned
+// table shares the backing storage with t (a shard view, not a copy), which
+// mirrors how a shard container holds a contiguous range of a sorted table.
+func (t *Table) Slice(lo, hi int64) (*Table, error) {
+	if lo < 0 || hi > t.Rows || lo >= hi {
+		return nil, fmt.Errorf("embedding: bad slice [%d,%d) of %d rows", lo, hi, t.Rows)
+	}
+	return &Table{
+		Name: fmt.Sprintf("%s[%d:%d)", t.Name, lo, hi),
+		Rows: hi - lo,
+		Dim:  t.Dim,
+		data: t.data[lo*int64(t.Dim) : hi*int64(t.Dim)],
+	}, nil
+}
+
+// Clone returns a deep copy of the table (a replica's private parameters).
+func (t *Table) Clone() *Table {
+	out := &Table{Name: t.Name, Rows: t.Rows, Dim: t.Dim, data: make([]float32, len(t.data))}
+	copy(out.data, t.data)
+	return out
+}
+
+// GatherPool gathers the rows named by indices and sum-pools them into dst,
+// which must have length Dim. This is the embedding-layer operator: for a
+// pooling factor of n, n rows are read and reduced with element-wise
+// addition (Sec. II-A).
+func (t *Table) GatherPool(dst tensor.Vector, indices []int64) error {
+	if len(dst) != t.Dim {
+		return fmt.Errorf("embedding: dst dim %d != table dim %d", len(dst), t.Dim)
+	}
+	tensor.Zero(dst)
+	for _, idx := range indices {
+		if idx < 0 || idx >= t.Rows {
+			return fmt.Errorf("%w: row %d of %d in table %q", ErrIndexRange, idx, t.Rows, t.Name)
+		}
+		row := t.data[idx*int64(t.Dim) : (idx+1)*int64(t.Dim)]
+		for i, x := range row {
+			dst[i] += x
+		}
+	}
+	return nil
+}
+
+// Permute returns a new table whose row i is t.Row(perm[i]); perm must be a
+// permutation of [0, Rows). This implements the hotness sort of Fig. 8(b):
+// after sorting, row 0 is the hottest embedding.
+func (t *Table) Permute(perm []int64) (*Table, error) {
+	if int64(len(perm)) != t.Rows {
+		return nil, fmt.Errorf("embedding: perm length %d != rows %d", len(perm), t.Rows)
+	}
+	out, err := NewTable(t.Name+"-sorted", t.Rows, t.Dim)
+	if err != nil {
+		return nil, err
+	}
+	seen := make([]bool, t.Rows)
+	for newIdx, oldIdx := range perm {
+		if oldIdx < 0 || oldIdx >= t.Rows {
+			return nil, fmt.Errorf("%w: perm[%d]=%d", ErrIndexRange, newIdx, oldIdx)
+		}
+		if seen[oldIdx] {
+			return nil, fmt.Errorf("embedding: perm repeats row %d (not a permutation)", oldIdx)
+		}
+		seen[oldIdx] = true
+		src := t.data[oldIdx*int64(t.Dim) : (oldIdx+1)*int64(t.Dim)]
+		copy(out.data[int64(newIdx)*int64(t.Dim):], src)
+	}
+	return out, nil
+}
+
+// Batch is the index/offset ("KeyedJagged") representation of a batched
+// multi-hot lookup against one table, matching Fig. 11: Indices holds the
+// concatenated lookup IDs for every input in the batch, and Offsets[i] is
+// the position in Indices where input i's IDs begin. len(Offsets) equals the
+// batch size; input i uses Indices[Offsets[i]:end] where end is
+// Offsets[i+1] (or len(Indices) for the last input).
+type Batch struct {
+	Indices []int64
+	Offsets []int32
+}
+
+// Validate checks structural invariants: offsets non-decreasing, first
+// offset zero, all offsets within the index array.
+func (b *Batch) Validate() error {
+	if len(b.Offsets) == 0 {
+		if len(b.Indices) != 0 {
+			return fmt.Errorf("%w: indices without offsets", ErrBadBatch)
+		}
+		return nil
+	}
+	if b.Offsets[0] != 0 {
+		return fmt.Errorf("%w: first offset %d != 0", ErrBadBatch, b.Offsets[0])
+	}
+	prev := int32(0)
+	for i, o := range b.Offsets {
+		if o < prev {
+			return fmt.Errorf("%w: offsets decrease at %d (%d < %d)", ErrBadBatch, i, o, prev)
+		}
+		if int(o) > len(b.Indices) {
+			return fmt.Errorf("%w: offset %d beyond %d indices", ErrBadBatch, o, len(b.Indices))
+		}
+		prev = o
+	}
+	return nil
+}
+
+// BatchSize returns the number of inputs in the batch.
+func (b *Batch) BatchSize() int { return len(b.Offsets) }
+
+// InputIndices returns the lookup IDs for input i (a sub-slice, not a copy).
+func (b *Batch) InputIndices(i int) []int64 {
+	lo := int(b.Offsets[i])
+	hi := len(b.Indices)
+	if i+1 < len(b.Offsets) {
+		hi = int(b.Offsets[i+1])
+	}
+	return b.Indices[lo:hi]
+}
+
+// TotalLookups returns the total number of gathers the batch performs.
+func (b *Batch) TotalLookups() int { return len(b.Indices) }
+
+// Clone deep-copies the batch.
+func (b *Batch) Clone() *Batch {
+	out := &Batch{
+		Indices: make([]int64, len(b.Indices)),
+		Offsets: make([]int32, len(b.Offsets)),
+	}
+	copy(out.Indices, b.Indices)
+	copy(out.Offsets, b.Offsets)
+	return out
+}
+
+// GatherPoolBatch runs GatherPool for every input in the batch and writes
+// the pooled vector for input i into out.Row(i). out must be
+// (BatchSize x Dim).
+func (t *Table) GatherPoolBatch(out *tensor.Matrix, b *Batch) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	if out.Rows != b.BatchSize() || out.Cols != t.Dim {
+		return fmt.Errorf("embedding: out shape %dx%d want %dx%d", out.Rows, out.Cols, b.BatchSize(), t.Dim)
+	}
+	for i := 0; i < b.BatchSize(); i++ {
+		if err := t.GatherPool(out.Row(i), b.InputIndices(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

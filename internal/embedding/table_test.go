@@ -1,0 +1,280 @@
+package embedding
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func mustTable(t *testing.T, rows int64, dim int) *Table {
+	t.Helper()
+	tab, err := NewTable("t", rows, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestNewTableValidation(t *testing.T) {
+	if _, err := NewTable("t", 0, 4); err == nil {
+		t.Fatal("want error for zero rows")
+	}
+	if _, err := NewTable("t", 4, 0); err == nil {
+		t.Fatal("want error for zero dim")
+	}
+}
+
+func TestTableSizeBytes(t *testing.T) {
+	tab := mustTable(t, 100, 32)
+	if got := tab.SizeBytes(); got != 100*32*4 {
+		t.Fatalf("SizeBytes = %d", got)
+	}
+}
+
+func TestVectorViewAndSet(t *testing.T) {
+	tab := mustTable(t, 4, 2)
+	if err := tab.SetVector(2, tensor.Vector{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := tab.Vector(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 1 || v[1] != 2 {
+		t.Fatalf("Vector(2) = %v", v)
+	}
+	if _, err := tab.Vector(4); !errors.Is(err, ErrIndexRange) {
+		t.Fatalf("want ErrIndexRange, got %v", err)
+	}
+	if _, err := tab.Vector(-1); !errors.Is(err, ErrIndexRange) {
+		t.Fatalf("want ErrIndexRange, got %v", err)
+	}
+	if err := tab.SetVector(0, tensor.Vector{1}); err == nil {
+		t.Fatal("want dim error")
+	}
+}
+
+func TestGatherPoolHandChecked(t *testing.T) {
+	tab := mustTable(t, 3, 2)
+	_ = tab.SetVector(0, tensor.Vector{1, 10})
+	_ = tab.SetVector(1, tensor.Vector{2, 20})
+	_ = tab.SetVector(2, tensor.Vector{3, 30})
+	dst := make(tensor.Vector, 2)
+	if err := tab.GatherPool(dst, []int64{0, 2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 7 || dst[1] != 70 {
+		t.Fatalf("GatherPool = %v, want [7 70]", dst)
+	}
+}
+
+func TestGatherPoolErrors(t *testing.T) {
+	tab := mustTable(t, 3, 2)
+	if err := tab.GatherPool(make(tensor.Vector, 3), []int64{0}); err == nil {
+		t.Fatal("want dst dim error")
+	}
+	if err := tab.GatherPool(make(tensor.Vector, 2), []int64{3}); !errors.Is(err, ErrIndexRange) {
+		t.Fatalf("want ErrIndexRange, got %v", err)
+	}
+}
+
+func TestSliceSharesStorage(t *testing.T) {
+	tab := mustTable(t, 10, 2)
+	_ = tab.SetVector(5, tensor.Vector{7, 8})
+	shard, err := tab.Slice(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shard.Rows != 4 {
+		t.Fatalf("shard rows = %d", shard.Rows)
+	}
+	v, err := shard.Vector(1) // row 5 of parent
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 7 || v[1] != 8 {
+		t.Fatalf("shard row = %v", v)
+	}
+	// Mutation through the parent is visible in the shard (shared storage).
+	_ = tab.SetVector(5, tensor.Vector{9, 9})
+	if v[0] != 9 {
+		t.Fatal("Slice must share storage")
+	}
+}
+
+func TestSliceValidation(t *testing.T) {
+	tab := mustTable(t, 10, 2)
+	for _, c := range [][2]int64{{-1, 5}, {5, 11}, {5, 5}, {6, 5}} {
+		if _, err := tab.Slice(c[0], c[1]); err == nil {
+			t.Fatalf("want error for slice [%d,%d)", c[0], c[1])
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	tab := mustTable(t, 2, 2)
+	_ = tab.SetVector(0, tensor.Vector{1, 1})
+	c := tab.Clone()
+	_ = c.SetVector(0, tensor.Vector{5, 5})
+	v, _ := tab.Vector(0)
+	if v[0] != 1 {
+		t.Fatal("Clone must not share storage")
+	}
+}
+
+func TestPermute(t *testing.T) {
+	tab := mustTable(t, 3, 1)
+	_ = tab.SetVector(0, tensor.Vector{10})
+	_ = tab.SetVector(1, tensor.Vector{11})
+	_ = tab.SetVector(2, tensor.Vector{12})
+	sorted, err := tab.Permute([]int64{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{12, 10, 11}
+	for i, w := range want {
+		v, _ := sorted.Vector(int64(i))
+		if v[0] != w {
+			t.Fatalf("sorted[%d] = %v, want %v", i, v[0], w)
+		}
+	}
+}
+
+func TestPermuteValidation(t *testing.T) {
+	tab := mustTable(t, 3, 1)
+	if _, err := tab.Permute([]int64{0, 1}); err == nil {
+		t.Fatal("want length error")
+	}
+	if _, err := tab.Permute([]int64{0, 1, 3}); err == nil {
+		t.Fatal("want range error")
+	}
+	if _, err := tab.Permute([]int64{0, 1, 1}); err == nil {
+		t.Fatal("want duplicate error")
+	}
+}
+
+func TestBatchValidate(t *testing.T) {
+	good := &Batch{Indices: []int64{1, 7, 3, 4, 8}, Offsets: []int32{0, 2}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []*Batch{
+		{Indices: []int64{1}, Offsets: nil},                 // indices without offsets
+		{Indices: []int64{1, 2}, Offsets: []int32{1, 2}},    // first offset != 0
+		{Indices: []int64{1, 2}, Offsets: []int32{0, 3}},    // offset beyond indices
+		{Indices: []int64{1, 2}, Offsets: []int32{0, 2, 1}}, // decreasing
+	}
+	for i, b := range cases {
+		if err := b.Validate(); !errors.Is(err, ErrBadBatch) {
+			t.Errorf("case %d: want ErrBadBatch, got %v", i, err)
+		}
+	}
+	empty := &Batch{}
+	if err := empty.Validate(); err != nil {
+		t.Fatalf("empty batch should validate: %v", err)
+	}
+}
+
+func TestBatchAccessors(t *testing.T) {
+	b := &Batch{Indices: []int64{1, 7, 3, 4, 8}, Offsets: []int32{0, 2}}
+	if b.BatchSize() != 2 || b.TotalLookups() != 5 {
+		t.Fatalf("size=%d lookups=%d", b.BatchSize(), b.TotalLookups())
+	}
+	if got := b.InputIndices(0); len(got) != 2 || got[0] != 1 || got[1] != 7 {
+		t.Fatalf("input0 = %v", got)
+	}
+	if got := b.InputIndices(1); len(got) != 3 || got[2] != 8 {
+		t.Fatalf("input1 = %v", got)
+	}
+	c := b.Clone()
+	c.Indices[0] = 99
+	if b.Indices[0] == 99 {
+		t.Fatal("Clone must deep-copy")
+	}
+}
+
+func TestGatherPoolBatch(t *testing.T) {
+	tab := mustTable(t, 4, 2)
+	for i := int64(0); i < 4; i++ {
+		_ = tab.SetVector(i, tensor.Vector{float32(i), float32(10 * i)})
+	}
+	b := &Batch{Indices: []int64{0, 1, 2, 3}, Offsets: []int32{0, 2}}
+	out := tensor.NewMatrix(2, 2)
+	if err := tab.GatherPoolBatch(out, b); err != nil {
+		t.Fatal(err)
+	}
+	if out.At(0, 0) != 1 || out.At(0, 1) != 10 {
+		t.Fatalf("row0 = %v", out.Row(0))
+	}
+	if out.At(1, 0) != 5 || out.At(1, 1) != 50 {
+		t.Fatalf("row1 = %v", out.Row(1))
+	}
+	bad := tensor.NewMatrix(1, 2)
+	if err := tab.GatherPoolBatch(bad, b); err == nil {
+		t.Fatal("want shape error")
+	}
+}
+
+// Property: pooling equals the element-wise sum of the gathered vectors.
+func TestGatherPoolIsSumProperty(t *testing.T) {
+	tab, err := NewRandomTable("p", 64, 8, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 32 {
+			raw = raw[:32]
+		}
+		idx := make([]int64, len(raw))
+		for i, r := range raw {
+			idx[i] = int64(r) % 64
+		}
+		pooled := make(tensor.Vector, 8)
+		if tab.GatherPool(pooled, idx) != nil {
+			return false
+		}
+		want := make([]float64, 8)
+		for _, id := range idx {
+			v, _ := tab.Vector(id)
+			for d := range want {
+				want[d] += float64(v[d])
+			}
+		}
+		for d := range want {
+			if math.Abs(want[d]-float64(pooled[d])) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: permuting a table then reading rank i equals reading perm[i]
+// from the original.
+func TestPermuteReadbackProperty(t *testing.T) {
+	tab, err := NewRandomTable("p", 16, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := []int64{3, 1, 0, 2, 7, 6, 5, 4, 12, 13, 14, 15, 8, 9, 10, 11}
+	sorted, err := tab.Permute(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for newIdx, oldIdx := range perm {
+		a, _ := sorted.Vector(int64(newIdx))
+		b, _ := tab.Vector(oldIdx)
+		if !tensor.AlmostEqual(a, b, 0) {
+			t.Fatalf("rank %d != original %d", newIdx, oldIdx)
+		}
+	}
+}

@@ -1,0 +1,299 @@
+// Package metrics implements the statistics substrate the serving system
+// reports: monotonic counters, windowed QPS meters, a streaming quantile
+// sketch for tail latency, and the memory-utility tracker from Sec. VI-B of
+// the paper (fraction of a shard's embedding rows actually touched while
+// servicing queries).
+//
+// Everything in this package is safe for concurrent use; the live serving
+// engine updates these from many goroutines.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// Inc adds delta (which must be >= 0) to the counter.
+func (c *Counter) Inc(delta int64) {
+	if delta < 0 {
+		panic("metrics: negative increment on Counter")
+	}
+	c.mu.Lock()
+	c.n += delta
+	c.mu.Unlock()
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	g.mu.Lock()
+	g.v += delta
+	g.mu.Unlock()
+}
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// QPSMeter measures completed-queries-per-second over a sliding window.
+type QPSMeter struct {
+	mu     sync.Mutex
+	window time.Duration
+	events []time.Time
+	now    func() time.Time
+}
+
+// NewQPSMeter creates a meter with the given sliding window (e.g. 10s).
+func NewQPSMeter(window time.Duration) *QPSMeter {
+	if window <= 0 {
+		window = 10 * time.Second
+	}
+	return &QPSMeter{window: window, now: time.Now}
+}
+
+// newQPSMeterAt is a test seam with an injectable clock.
+func newQPSMeterAt(window time.Duration, now func() time.Time) *QPSMeter {
+	m := NewQPSMeter(window)
+	m.now = now
+	return m
+}
+
+// Mark records one completed query at the current time.
+func (m *QPSMeter) Mark() {
+	t := m.now()
+	m.mu.Lock()
+	m.events = append(m.events, t)
+	m.trimLocked(t)
+	m.mu.Unlock()
+}
+
+func (m *QPSMeter) trimLocked(now time.Time) {
+	cut := now.Add(-m.window)
+	i := 0
+	for i < len(m.events) && m.events[i].Before(cut) {
+		i++
+	}
+	if i > 0 {
+		m.events = append(m.events[:0], m.events[i:]...)
+	}
+}
+
+// Rate returns the average queries/sec over the window.
+func (m *QPSMeter) Rate() float64 {
+	t := m.now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.trimLocked(t)
+	return float64(len(m.events)) / m.window.Seconds()
+}
+
+// LatencyRecorder keeps a bounded reservoir of latency samples and reports
+// quantiles. With fewer samples than the reservoir size it is exact; beyond
+// that it keeps a uniform random-replacement reservoir, which is accurate
+// enough for the P95 SLA checks the paper performs.
+type LatencyRecorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	seen    int64
+	cap     int
+	rngSt   uint64
+}
+
+// NewLatencyRecorder creates a recorder holding up to capacity samples
+// (default 8192 when capacity <= 0).
+func NewLatencyRecorder(capacity int) *LatencyRecorder {
+	if capacity <= 0 {
+		capacity = 8192
+	}
+	return &LatencyRecorder{cap: capacity, rngSt: 0x9e3779b97f4a7c15}
+}
+
+func (l *LatencyRecorder) nextRand() uint64 {
+	l.rngSt += 0x9e3779b97f4a7c15
+	z := l.rngSt
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Observe records one latency sample.
+func (l *LatencyRecorder) Observe(d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seen++
+	if len(l.samples) < l.cap {
+		l.samples = append(l.samples, d)
+		return
+	}
+	// Vitter's Algorithm R replacement.
+	j := l.nextRand() % uint64(l.seen)
+	if j < uint64(l.cap) {
+		l.samples[j] = d
+	}
+}
+
+// Count returns the total number of observed samples.
+func (l *LatencyRecorder) Count() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seen
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the observed latencies,
+// or 0 when no samples have been recorded.
+func (l *LatencyRecorder) Quantile(q float64) time.Duration {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	l.mu.Lock()
+	snapshot := make([]time.Duration, len(l.samples))
+	copy(snapshot, l.samples)
+	l.mu.Unlock()
+	if len(snapshot) == 0 {
+		return 0
+	}
+	sort.Slice(snapshot, func(i, j int) bool { return snapshot[i] < snapshot[j] })
+	idx := int(math.Ceil(q*float64(len(snapshot)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(snapshot) {
+		idx = len(snapshot) - 1
+	}
+	return snapshot[idx]
+}
+
+// Mean returns the mean of the retained samples, or 0 when empty.
+func (l *LatencyRecorder) Mean() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range l.samples {
+		sum += d
+	}
+	return sum / time.Duration(len(l.samples))
+}
+
+// Reset discards all samples.
+func (l *LatencyRecorder) Reset() {
+	l.mu.Lock()
+	l.samples = l.samples[:0]
+	l.seen = 0
+	l.mu.Unlock()
+}
+
+// UtilityTracker measures memory utility for one embedding shard: the
+// fraction of the shard's rows touched at least once while servicing
+// queries (Sec. VI-B measures this over the first 1,000 queries).
+type UtilityTracker struct {
+	mu      sync.Mutex
+	touched map[int64]struct{}
+	rows    int64
+}
+
+// NewUtilityTracker creates a tracker for a shard holding rows embedding
+// vectors.
+func NewUtilityTracker(rows int64) *UtilityTracker {
+	if rows < 0 {
+		rows = 0
+	}
+	return &UtilityTracker{touched: make(map[int64]struct{}), rows: rows}
+}
+
+// Touch records an access to the given local row index.
+func (u *UtilityTracker) Touch(row int64) {
+	u.mu.Lock()
+	u.touched[row] = struct{}{}
+	u.mu.Unlock()
+}
+
+// TouchAll records accesses to a batch of local row indices.
+func (u *UtilityTracker) TouchAll(rows []int64) {
+	u.mu.Lock()
+	for _, r := range rows {
+		u.touched[r] = struct{}{}
+	}
+	u.mu.Unlock()
+}
+
+// Utility returns touched-rows / total-rows in [0, 1]. A shard with zero
+// rows reports utility 0.
+func (u *UtilityTracker) Utility() float64 {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.rows == 0 {
+		return 0
+	}
+	return float64(len(u.touched)) / float64(u.rows)
+}
+
+// TouchedRows returns the number of distinct rows accessed.
+func (u *UtilityTracker) TouchedRows() int64 {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return int64(len(u.touched))
+}
+
+// Reset clears the access set.
+func (u *UtilityTracker) Reset() {
+	u.mu.Lock()
+	u.touched = make(map[int64]struct{})
+	u.mu.Unlock()
+}
+
+// FormatBytes renders a byte count in human-readable GB/MB/KB form, used by
+// the CLI experiment output.
+func FormatBytes(b int64) string {
+	const (
+		kb = 1 << 10
+		mb = 1 << 20
+		gb = 1 << 30
+	)
+	switch {
+	case b >= gb:
+		return fmt.Sprintf("%.2f GB", float64(b)/gb)
+	case b >= mb:
+		return fmt.Sprintf("%.2f MB", float64(b)/mb)
+	case b >= kb:
+		return fmt.Sprintf("%.2f KB", float64(b)/kb)
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}

@@ -1,0 +1,206 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Inc(3)
+	c.Inc(0)
+	if c.Value() != 3 {
+		t.Fatalf("Value = %d, want 3", c.Value())
+	}
+}
+
+func TestCounterPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on negative increment")
+		}
+	}()
+	var c Counter
+	c.Inc(-1)
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 16000 {
+		t.Fatalf("Value = %d, want 16000", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(2.5)
+	g.Add(-1)
+	if g.Value() != 1.5 {
+		t.Fatalf("Value = %v, want 1.5", g.Value())
+	}
+}
+
+func TestQPSMeterWindow(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	m := newQPSMeterAt(10*time.Second, clock)
+	for i := 0; i < 50; i++ {
+		m.Mark()
+	}
+	if got := m.Rate(); got != 5.0 {
+		t.Fatalf("Rate = %v, want 5 (50 events / 10s)", got)
+	}
+	// Advance beyond the window: all events expire.
+	now = now.Add(11 * time.Second)
+	if got := m.Rate(); got != 0 {
+		t.Fatalf("Rate after window = %v, want 0", got)
+	}
+}
+
+func TestQPSMeterDefaultWindow(t *testing.T) {
+	m := NewQPSMeter(0)
+	if m.window != 10*time.Second {
+		t.Fatalf("default window = %v", m.window)
+	}
+}
+
+func TestLatencyRecorderExactQuantiles(t *testing.T) {
+	l := NewLatencyRecorder(100)
+	for i := 1; i <= 100; i++ {
+		l.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if got := l.Quantile(0.95); got != 95*time.Millisecond {
+		t.Fatalf("P95 = %v, want 95ms", got)
+	}
+	if got := l.Quantile(0.5); got != 50*time.Millisecond {
+		t.Fatalf("P50 = %v, want 50ms", got)
+	}
+	if got := l.Quantile(1); got != 100*time.Millisecond {
+		t.Fatalf("P100 = %v, want 100ms", got)
+	}
+	if got := l.Quantile(0); got != 1*time.Millisecond {
+		t.Fatalf("P0 = %v, want 1ms", got)
+	}
+}
+
+func TestLatencyRecorderEmptyAndClamps(t *testing.T) {
+	l := NewLatencyRecorder(0)
+	if l.Quantile(0.95) != 0 || l.Mean() != 0 {
+		t.Fatal("empty recorder must report zero")
+	}
+	l.Observe(time.Second)
+	if l.Quantile(-1) != time.Second || l.Quantile(2) != time.Second {
+		t.Fatal("quantile args must clamp")
+	}
+}
+
+func TestLatencyRecorderReservoirBounded(t *testing.T) {
+	l := NewLatencyRecorder(64)
+	for i := 0; i < 10_000; i++ {
+		l.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if len(l.samples) != 64 {
+		t.Fatalf("reservoir size = %d, want 64", len(l.samples))
+	}
+	if l.Count() != 10_000 {
+		t.Fatalf("Count = %d", l.Count())
+	}
+	// Reservoir quantile should be within the observed range.
+	q := l.Quantile(0.5)
+	if q < 0 || q > 10*time.Millisecond {
+		t.Fatalf("reservoir P50 = %v outside observed range", q)
+	}
+}
+
+func TestLatencyRecorderReset(t *testing.T) {
+	l := NewLatencyRecorder(8)
+	l.Observe(time.Second)
+	l.Reset()
+	if l.Count() != 0 || l.Quantile(0.5) != 0 {
+		t.Fatal("Reset must clear samples")
+	}
+}
+
+func TestLatencyRecorderMean(t *testing.T) {
+	l := NewLatencyRecorder(8)
+	l.Observe(10 * time.Millisecond)
+	l.Observe(30 * time.Millisecond)
+	if got := l.Mean(); got != 20*time.Millisecond {
+		t.Fatalf("Mean = %v, want 20ms", got)
+	}
+}
+
+func TestUtilityTracker(t *testing.T) {
+	u := NewUtilityTracker(10)
+	u.Touch(1)
+	u.Touch(1) // duplicate
+	u.TouchAll([]int64{2, 3})
+	if got := u.TouchedRows(); got != 3 {
+		t.Fatalf("TouchedRows = %d, want 3", got)
+	}
+	if got := u.Utility(); got != 0.3 {
+		t.Fatalf("Utility = %v, want 0.3", got)
+	}
+	u.Reset()
+	if u.Utility() != 0 {
+		t.Fatal("Reset must clear")
+	}
+}
+
+func TestUtilityTrackerZeroRows(t *testing.T) {
+	u := NewUtilityTracker(0)
+	if u.Utility() != 0 {
+		t.Fatal("zero-row tracker must report 0")
+	}
+	u = NewUtilityTracker(-5)
+	if u.Utility() != 0 {
+		t.Fatal("negative rows clamp to 0")
+	}
+}
+
+func TestUtilityTrackerConcurrent(t *testing.T) {
+	u := NewUtilityTracker(1000)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := int64(0); i < 1000; i++ {
+				u.Touch(i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if u.TouchedRows() != 1000 {
+		t.Fatalf("TouchedRows = %d, want 1000", u.TouchedRows())
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{512, "512 B"},
+		{2 << 10, "2.00 KB"},
+		{3 << 20, "3.00 MB"},
+		{5 << 30, "5.00 GB"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.in); got != c.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Package model implements the DLRM recommendation model the paper serves
+// (Fig. 1): a bottom MLP over continuous features, multi-hot embedding
+// lookups over categorical features, pairwise feature interaction, and a
+// top MLP producing a click probability. It also carries the workload
+// configurations of Table I (microbenchmarks) and Table II (RM1-RM3) and
+// the architecture-independent FLOPs/memory accounting behind Fig. 3(a).
+package model
+
+import (
+	"fmt"
+)
+
+// Config describes one DLRM architecture plus its serving workload
+// parameters. Widths follow the paper's notation: BottomMLP "256-128-32"
+// means hidden widths 256, 128 and an output width equal to the embedding
+// dimension.
+type Config struct {
+	Name string
+
+	// DenseInputDim is the number of continuous features (13, following
+	// the Criteo/DLRM convention the paper's DLRM repository uses).
+	DenseInputDim int
+	// BottomMLP lists layer output widths; the last must equal
+	// EmbeddingDim so the bottom output can join the feature interaction.
+	BottomMLP []int
+	// TopMLP lists layer output widths; the last must be 1 (the logit).
+	TopMLP []int
+
+	// NumTables is the number of embedding tables.
+	NumTables int
+	// RowsPerTable is the number of embedding vectors per table (the
+	// paper's RMs use 20M).
+	RowsPerTable int64
+	// EmbeddingDim is the embedding vector dimension.
+	EmbeddingDim int
+	// Pooling is the number of embedding gathers per table per input
+	// ("number of embedding gathers" in Table II).
+	Pooling int
+
+	// LocalityP is the access-locality metric (share of lookups hitting
+	// the hottest 10% of rows).
+	LocalityP float64
+	// BatchSize is the number of items ranked per query (32, Sec. V-C).
+	BatchSize int
+}
+
+// Validate checks structural invariants.
+func (c Config) Validate() error {
+	if c.DenseInputDim <= 0 {
+		return fmt.Errorf("model %s: DenseInputDim must be positive", c.Name)
+	}
+	if len(c.BottomMLP) == 0 || len(c.TopMLP) == 0 {
+		return fmt.Errorf("model %s: empty MLP spec", c.Name)
+	}
+	if c.BottomMLP[len(c.BottomMLP)-1] != c.EmbeddingDim {
+		return fmt.Errorf("model %s: bottom MLP output %d must equal embedding dim %d",
+			c.Name, c.BottomMLP[len(c.BottomMLP)-1], c.EmbeddingDim)
+	}
+	if c.TopMLP[len(c.TopMLP)-1] != 1 {
+		return fmt.Errorf("model %s: top MLP must end in width 1", c.Name)
+	}
+	if c.NumTables <= 0 || c.RowsPerTable <= 0 || c.EmbeddingDim <= 0 || c.Pooling <= 0 {
+		return fmt.Errorf("model %s: invalid sparse geometry", c.Name)
+	}
+	if c.LocalityP <= 0 || c.LocalityP > 1 {
+		return fmt.Errorf("model %s: LocalityP %v out of (0,1]", c.Name, c.LocalityP)
+	}
+	if c.BatchSize <= 0 {
+		return fmt.Errorf("model %s: BatchSize must be positive", c.Name)
+	}
+	return nil
+}
+
+// WithRows returns a copy with RowsPerTable overridden — used to
+// instantiate live (in-memory) models at a reduced scale while cost
+// accounting stays on the paper geometry.
+func (c Config) WithRows(rows int64) Config {
+	c.RowsPerTable = rows
+	return c
+}
+
+// WithName returns a copy with a new name.
+func (c Config) WithName(name string) Config {
+	c.Name = name
+	return c
+}
+
+// InteractionDim returns the width of the feature-interaction output that
+// feeds the top MLP: all pairwise dot products among the (NumTables+1)
+// dim-EmbeddingDim vectors, concatenated with the bottom-MLP output.
+func (c Config) InteractionDim() int {
+	n := c.NumTables + 1
+	return n*(n-1)/2 + c.EmbeddingDim
+}
+
+// bottomDims returns the full width sequence of the bottom MLP.
+func (c Config) bottomDims() []int {
+	return append([]int{c.DenseInputDim}, c.BottomMLP...)
+}
+
+// topDims returns the full width sequence of the top MLP.
+func (c Config) topDims() []int {
+	return append([]int{c.InteractionDim()}, c.TopMLP...)
+}
+
+// --- Table II: state-of-the-art RecSys workloads ---
+
+// RM1 is DLRM RM1 (Table II).
+func RM1() Config {
+	return Config{
+		Name:          "RM1",
+		DenseInputDim: 13,
+		BottomMLP:     []int{256, 128, 32},
+		TopMLP:        []int{256, 64, 1},
+		NumTables:     10,
+		RowsPerTable:  20_000_000,
+		EmbeddingDim:  32,
+		Pooling:       128,
+		LocalityP:     0.90,
+		BatchSize:     32,
+	}
+}
+
+// RM2 is DLRM RM2 (Table II): 32 tables, wider top MLP.
+func RM2() Config {
+	c := RM1()
+	c.Name = "RM2"
+	c.TopMLP = []int{512, 128, 1}
+	c.NumTables = 32
+	return c
+}
+
+// RM3 is DLRM RM3 (Table II): compute-heavy bottom MLP, light pooling.
+func RM3() Config {
+	c := RM1()
+	c.Name = "RM3"
+	c.BottomMLP = []int{2560, 512, 32}
+	c.TopMLP = []int{512, 128, 1}
+	c.Pooling = 32
+	return c
+}
+
+// StateOfTheArt returns the three Table II workloads in paper order.
+func StateOfTheArt() []Config { return []Config{RM1(), RM2(), RM3()} }
+
+// --- Table I: microbenchmark dimensions (defaults from RM1) ---
+
+// MLPSize selects the Table I dense-layer size axis.
+type MLPSize string
+
+// Table I MLP sizes.
+const (
+	MLPLight  MLPSize = "Light"
+	MLPMedium MLPSize = "Medium"
+	MLPHeavy  MLPSize = "Heavy"
+)
+
+// LocalityLevel selects the Table I locality axis.
+type LocalityLevel string
+
+// Table I locality levels (P = 10%/50%/90%).
+const (
+	LocalityLow    LocalityLevel = "Low"
+	LocalityMedium LocalityLevel = "Medium"
+	LocalityHigh   LocalityLevel = "High"
+)
+
+// MicroMLP returns the RM1-based microbenchmark with the Table I MLP size.
+func MicroMLP(size MLPSize) (Config, error) {
+	c := RM1()
+	switch size {
+	case MLPLight:
+		c.BottomMLP = []int{64, 32, 32}
+		c.TopMLP = []int{64, 32, 1}
+	case MLPMedium:
+		c.BottomMLP = []int{256, 128, 32}
+		c.TopMLP = []int{256, 64, 1}
+	case MLPHeavy:
+		c.BottomMLP = []int{512, 256, 32}
+		c.TopMLP = []int{512, 64, 1}
+	default:
+		return Config{}, fmt.Errorf("model: unknown MLP size %q", size)
+	}
+	c.Name = "micro-mlp-" + string(size)
+	return c, nil
+}
+
+// MicroLocality returns the RM1-based microbenchmark with the Table I
+// locality level.
+func MicroLocality(level LocalityLevel) (Config, error) {
+	c := RM1()
+	switch level {
+	case LocalityLow:
+		c.LocalityP = 0.10
+	case LocalityMedium:
+		c.LocalityP = 0.50
+	case LocalityHigh:
+		c.LocalityP = 0.90
+	default:
+		return Config{}, fmt.Errorf("model: unknown locality level %q", level)
+	}
+	c.Name = "micro-loc-" + string(level)
+	return c, nil
+}
+
+// MicroTables returns the RM1-based microbenchmark with n embedding tables
+// (Table I allows 1, 4, 10 and 16; any positive n is accepted).
+func MicroTables(n int) (Config, error) {
+	if n <= 0 {
+		return Config{}, fmt.Errorf("model: table count must be positive, got %d", n)
+	}
+	c := RM1()
+	c.NumTables = n
+	c.Name = fmt.Sprintf("micro-tables-%d", n)
+	return c, nil
+}
+
+// MicroShardCounts lists the Table I "number of shards" sweep.
+func MicroShardCounts() []int { return []int{1, 2, 4, 8, 16} }
+
+// MicroTableCounts lists the Table I "number of tables" sweep.
+func MicroTableCounts() []int { return []int{1, 4, 10, 16} }

@@ -1,0 +1,283 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/embedding"
+	"repro/internal/mlp"
+	"repro/internal/tensor"
+)
+
+// Model is an instantiated DLRM: parameters in memory, ready to run forward
+// passes. A Model is not safe for concurrent use (it owns scratch buffers);
+// each serving replica clones its own copy, mirroring how each pod loads a
+// private copy of the parameters.
+type Model struct {
+	Config Config
+	Bottom *mlp.MLP
+	Top    *mlp.MLP
+	Tables []*embedding.Table
+
+	// scratch
+	bottomOut   tensor.Vector
+	interaction tensor.Vector
+	logit       tensor.Vector
+	pooledBuf   []tensor.Vector
+}
+
+// New instantiates the model with deterministic parameters. For the paper's
+// 20M-row geometry this allocates ~2.5 GB per table; tests and the live
+// serving engine pass a Config with reduced RowsPerTable via WithRows.
+func New(cfg Config, seed uint64) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	bottom, err := mlp.New(cfg.bottomDims(), seed)
+	if err != nil {
+		return nil, fmt.Errorf("model %s: bottom MLP: %w", cfg.Name, err)
+	}
+	top, err := mlp.New(cfg.topDims(), seed^0x5ca1ab1e)
+	if err != nil {
+		return nil, fmt.Errorf("model %s: top MLP: %w", cfg.Name, err)
+	}
+	m := &Model{Config: cfg, Bottom: bottom, Top: top}
+	for t := 0; t < cfg.NumTables; t++ {
+		tab, err := embedding.NewRandomTable(
+			fmt.Sprintf("%s-table%d", cfg.Name, t), cfg.RowsPerTable, cfg.EmbeddingDim,
+			seed+uint64(t)*0x9e3779b9)
+		if err != nil {
+			return nil, fmt.Errorf("model %s: table %d: %w", cfg.Name, t, err)
+		}
+		m.Tables = append(m.Tables, tab)
+	}
+	m.initScratch()
+	return m, nil
+}
+
+// NewDenseOnly instantiates only the dense side of the model (bottom/top
+// MLPs and interaction scratch, no embedding tables) — the parameter set a
+// dense DNN shard container loads. ForwardPooled works; Forward and
+// ForwardBatch require tables and will fail.
+func NewDenseOnly(cfg Config, seed uint64) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	bottom, err := mlp.New(cfg.bottomDims(), seed)
+	if err != nil {
+		return nil, fmt.Errorf("model %s: bottom MLP: %w", cfg.Name, err)
+	}
+	top, err := mlp.New(cfg.topDims(), seed^0x5ca1ab1e)
+	if err != nil {
+		return nil, fmt.Errorf("model %s: top MLP: %w", cfg.Name, err)
+	}
+	m := &Model{Config: cfg, Bottom: bottom, Top: top}
+	m.initScratch()
+	return m, nil
+}
+
+func (m *Model) initScratch() {
+	cfg := m.Config
+	m.bottomOut = make(tensor.Vector, cfg.EmbeddingDim)
+	m.interaction = make(tensor.Vector, cfg.InteractionDim())
+	m.logit = make(tensor.Vector, 1)
+	m.pooledBuf = make([]tensor.Vector, cfg.NumTables)
+	for i := range m.pooledBuf {
+		m.pooledBuf[i] = make(tensor.Vector, cfg.EmbeddingDim)
+	}
+}
+
+// Clone deep-copies the model (a new replica's private parameter copy).
+func (m *Model) Clone() *Model {
+	out := &Model{Config: m.Config, Bottom: m.Bottom.Clone(), Top: m.Top.Clone()}
+	for _, t := range m.Tables {
+		out.Tables = append(out.Tables, t.Clone())
+	}
+	out.initScratch()
+	return out
+}
+
+// Interact computes the DLRM pairwise feature interaction: the dot products
+// of every unordered pair among {bottom, pooled[0], ..., pooled[n-1]},
+// concatenated with bottom itself. dst must have length InteractionDim().
+func (m *Model) Interact(dst, bottom tensor.Vector, pooled []tensor.Vector) error {
+	cfg := m.Config
+	if len(pooled) != cfg.NumTables {
+		return fmt.Errorf("model %s: %d pooled vectors, want %d", cfg.Name, len(pooled), cfg.NumTables)
+	}
+	if len(dst) != cfg.InteractionDim() {
+		return fmt.Errorf("model %s: interaction dst %d, want %d", cfg.Name, len(dst), cfg.InteractionDim())
+	}
+	vecs := make([]tensor.Vector, 0, cfg.NumTables+1)
+	vecs = append(vecs, bottom)
+	vecs = append(vecs, pooled...)
+	k := 0
+	for i := 0; i < len(vecs); i++ {
+		for j := i + 1; j < len(vecs); j++ {
+			d, err := tensor.Dot(vecs[i], vecs[j])
+			if err != nil {
+				return err
+			}
+			dst[k] = d
+			k++
+		}
+	}
+	copy(dst[k:], bottom)
+	return nil
+}
+
+// ForwardPooled runs the dense part of the model for a single input, given
+// the already-pooled embedding vectors — exactly the work the dense DNN
+// shard performs after the sparse shards reply (Sec. IV-A "life of an
+// inference query"). It returns the click probability.
+func (m *Model) ForwardPooled(dense tensor.Vector, pooled []tensor.Vector) (float32, error) {
+	if err := m.Bottom.Forward(m.bottomOut, dense); err != nil {
+		return 0, err
+	}
+	if err := m.Interact(m.interaction, m.bottomOut, pooled); err != nil {
+		return 0, err
+	}
+	if err := m.Top.Forward(m.logit, m.interaction); err != nil {
+		return 0, err
+	}
+	p := m.logit.Clone()
+	tensor.Sigmoid(p)
+	return p[0], nil
+}
+
+// Forward runs the full monolithic model for a single input: sparseIdx[t]
+// holds the lookup indices into table t. This is the baseline model-wise
+// execution path.
+func (m *Model) Forward(dense tensor.Vector, sparseIdx [][]int64) (float32, error) {
+	if len(sparseIdx) != m.Config.NumTables {
+		return 0, fmt.Errorf("model %s: %d sparse inputs, want %d", m.Config.Name, len(sparseIdx), m.Config.NumTables)
+	}
+	for t, tab := range m.Tables {
+		if err := tab.GatherPool(m.pooledBuf[t], sparseIdx[t]); err != nil {
+			return 0, err
+		}
+	}
+	return m.ForwardPooled(dense, m.pooledBuf)
+}
+
+// ForwardBatch runs the monolithic model for a whole query: denseIn is
+// (BatchSize x DenseInputDim) and batches[t] is the index/offset batch for
+// table t. It returns one probability per input.
+func (m *Model) ForwardBatch(denseIn *tensor.Matrix, batches []*embedding.Batch) ([]float32, error) {
+	cfg := m.Config
+	if len(batches) != cfg.NumTables {
+		return nil, fmt.Errorf("model %s: %d batches, want %d", cfg.Name, len(batches), cfg.NumTables)
+	}
+	bs := denseIn.Rows
+	for t, b := range batches {
+		if b.BatchSize() != bs {
+			return nil, fmt.Errorf("model %s: table %d batch size %d != dense batch %d", cfg.Name, t, b.BatchSize(), bs)
+		}
+	}
+	out := make([]float32, bs)
+	idx := make([][]int64, cfg.NumTables)
+	for i := 0; i < bs; i++ {
+		for t, b := range batches {
+			idx[t] = b.InputIndices(i)
+		}
+		p, err := m.Forward(denseIn.Row(i), idx)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// --- Architecture-independent accounting (Fig. 3a) ---
+
+// DenseFLOPsPerInput returns the dense-layer FLOPs for one input: bottom
+// MLP + pairwise interaction + top MLP.
+func (c Config) DenseFLOPsPerInput() int64 {
+	var total int64
+	dims := c.bottomDims()
+	for i := 0; i+1 < len(dims); i++ {
+		total += 2*int64(dims[i])*int64(dims[i+1]) + int64(dims[i+1])
+	}
+	// Interaction: C(n+1, 2) dot products of EmbeddingDim-wide vectors.
+	n := int64(c.NumTables + 1)
+	total += n * (n - 1) / 2 * 2 * int64(c.EmbeddingDim)
+	dims = c.topDims()
+	for i := 0; i+1 < len(dims); i++ {
+		total += 2*int64(dims[i])*int64(dims[i+1]) + int64(dims[i+1])
+	}
+	return total
+}
+
+// SparseFLOPsPerInput returns the embedding-layer FLOPs for one input: the
+// sum-pooling additions across all tables (gathers themselves are loads,
+// not FLOPs).
+func (c Config) SparseFLOPsPerInput() int64 {
+	return int64(c.NumTables) * int64(c.Pooling) * int64(c.EmbeddingDim)
+}
+
+// DenseFLOPsPerQuery returns dense FLOPs for a full batch-size query.
+func (c Config) DenseFLOPsPerQuery() int64 {
+	return c.DenseFLOPsPerInput() * int64(c.BatchSize)
+}
+
+// SparseFLOPsPerQuery returns sparse FLOPs for a full batch-size query.
+func (c Config) SparseFLOPsPerQuery() int64 {
+	return c.SparseFLOPsPerInput() * int64(c.BatchSize)
+}
+
+// DenseBytes returns the dense-parameter footprint (both MLPs).
+func (c Config) DenseBytes() int64 {
+	var total int64
+	dims := c.bottomDims()
+	for i := 0; i+1 < len(dims); i++ {
+		total += (int64(dims[i])*int64(dims[i+1]) + int64(dims[i+1])) * 4
+	}
+	dims = c.topDims()
+	for i := 0; i+1 < len(dims); i++ {
+		total += (int64(dims[i])*int64(dims[i+1]) + int64(dims[i+1])) * 4
+	}
+	return total
+}
+
+// SparseBytes returns the embedding-table footprint across all tables.
+func (c Config) SparseBytes() int64 {
+	return int64(c.NumTables) * c.RowsPerTable * int64(c.EmbeddingDim) * embedding.BytesPerElement
+}
+
+// TableBytes returns the footprint of a single table.
+func (c Config) TableBytes() int64 {
+	return c.RowsPerTable * int64(c.EmbeddingDim) * embedding.BytesPerElement
+}
+
+// SparseBytesReadPerQuery returns the bytes of embedding data one query
+// reads from memory (gathered rows across all tables and the batch).
+func (c Config) SparseBytesReadPerQuery() int64 {
+	return int64(c.BatchSize) * int64(c.NumTables) * int64(c.Pooling) * int64(c.EmbeddingDim) * embedding.BytesPerElement
+}
+
+// LookupsPerQuery returns the total embedding gathers one query performs.
+func (c Config) LookupsPerQuery() int64 {
+	return int64(c.BatchSize) * int64(c.NumTables) * int64(c.Pooling)
+}
+
+// OccupancyBreakdown is the Fig. 3(a) decomposition.
+type OccupancyBreakdown struct {
+	DenseFLOPsShare  float64 // dense share of per-query FLOPs
+	SparseFLOPsShare float64
+	DenseMemShare    float64 // dense share of parameter bytes
+	SparseMemShare   float64
+}
+
+// Occupancy computes the FLOPs and memory shares of Fig. 3(a).
+func (c Config) Occupancy() OccupancyBreakdown {
+	df := float64(c.DenseFLOPsPerQuery())
+	sf := float64(c.SparseFLOPsPerQuery())
+	dm := float64(c.DenseBytes())
+	sm := float64(c.SparseBytes())
+	return OccupancyBreakdown{
+		DenseFLOPsShare:  df / (df + sf),
+		SparseFLOPsShare: sf / (df + sf),
+		DenseMemShare:    dm / (dm + sm),
+		SparseMemShare:   sm / (dm + sm),
+	}
+}

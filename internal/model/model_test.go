@@ -1,0 +1,357 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/embedding"
+	"repro/internal/tensor"
+)
+
+// tiny returns a small, fast test model.
+func tiny() Config {
+	return Config{
+		Name:          "tiny",
+		DenseInputDim: 4,
+		BottomMLP:     []int{8, 4},
+		TopMLP:        []int{8, 1},
+		NumTables:     3,
+		RowsPerTable:  50,
+		EmbeddingDim:  4,
+		Pooling:       5,
+		LocalityP:     0.9,
+		BatchSize:     2,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := tiny()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := tiny()
+	bad.BottomMLP = []int{8, 5} // last width != embedding dim
+	if err := bad.Validate(); err == nil {
+		t.Fatal("want bottom-MLP/dim mismatch error")
+	}
+	bad = tiny()
+	bad.TopMLP = []int{8, 2}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("want top-MLP width error")
+	}
+	bad = tiny()
+	bad.LocalityP = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("want locality error")
+	}
+	bad = tiny()
+	bad.NumTables = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("want table count error")
+	}
+	bad = tiny()
+	bad.DenseInputDim = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("want dense input error")
+	}
+	bad = tiny()
+	bad.BatchSize = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("want batch size error")
+	}
+}
+
+func TestInteractionDim(t *testing.T) {
+	cfg := tiny() // 3 tables + bottom = 4 vectors -> 6 pairs + dim 4
+	if got := cfg.InteractionDim(); got != 10 {
+		t.Fatalf("InteractionDim = %d, want 10", got)
+	}
+}
+
+func TestPresetsValidate(t *testing.T) {
+	for _, cfg := range StateOfTheArt() {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+	if RM2().NumTables != 32 || RM3().Pooling != 32 {
+		t.Fatal("Table II presets corrupted")
+	}
+	for _, size := range []MLPSize{MLPLight, MLPMedium, MLPHeavy} {
+		cfg, err := MicroMLP(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+	if _, err := MicroMLP("Huge"); err == nil {
+		t.Fatal("want unknown-size error")
+	}
+	for _, lvl := range []LocalityLevel{LocalityLow, LocalityMedium, LocalityHigh} {
+		cfg, err := MicroLocality(lvl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+	if _, err := MicroLocality("None"); err == nil {
+		t.Fatal("want unknown-level error")
+	}
+	for _, n := range MicroTableCounts() {
+		if _, err := MicroTables(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := MicroTables(0); err == nil {
+		t.Fatal("want table-count error")
+	}
+}
+
+func TestMicroLocalityValues(t *testing.T) {
+	lo, _ := MicroLocality(LocalityLow)
+	hi, _ := MicroLocality(LocalityHigh)
+	if lo.LocalityP != 0.10 || hi.LocalityP != 0.90 {
+		t.Fatalf("locality presets: low=%v high=%v", lo.LocalityP, hi.LocalityP)
+	}
+}
+
+func TestWithRowsAndName(t *testing.T) {
+	cfg := RM1().WithRows(1000).WithName("rm1-small")
+	if cfg.RowsPerTable != 1000 || cfg.Name != "rm1-small" {
+		t.Fatalf("WithRows/WithName broken: %+v", cfg)
+	}
+	if RM1().RowsPerTable != 20_000_000 {
+		t.Fatal("WithRows must not mutate the preset")
+	}
+}
+
+func TestAccountingPaperGeometry(t *testing.T) {
+	cfg := RM1()
+	// 10 tables x 20M rows x 32 dims x 4B = 25.6 GB of embeddings.
+	if got := cfg.SparseBytes(); got != 10*20_000_000*32*4 {
+		t.Fatalf("SparseBytes = %d", got)
+	}
+	if got := cfg.TableBytes(); got != 20_000_000*32*4 {
+		t.Fatalf("TableBytes = %d", got)
+	}
+	// Dense parameters are a few hundred KB — the Fig. 3 asymmetry.
+	if cfg.DenseBytes() > 10<<20 {
+		t.Fatalf("DenseBytes = %d, expected well under 10MB", cfg.DenseBytes())
+	}
+	occ := cfg.Occupancy()
+	if occ.SparseMemShare < 0.99 {
+		t.Fatalf("sparse memory share = %v, want > 0.99", occ.SparseMemShare)
+	}
+	if occ.DenseFLOPsShare < 0.5 {
+		t.Fatalf("dense FLOPs share = %v, want majority", occ.DenseFLOPsShare)
+	}
+	if math.Abs(occ.DenseFLOPsShare+occ.SparseFLOPsShare-1) > 1e-9 {
+		t.Fatal("FLOPs shares must sum to 1")
+	}
+	if got := cfg.LookupsPerQuery(); got != 32*10*128 {
+		t.Fatalf("LookupsPerQuery = %d", got)
+	}
+	if got := cfg.SparseBytesReadPerQuery(); got != 32*10*128*32*4 {
+		t.Fatalf("SparseBytesReadPerQuery = %d", got)
+	}
+}
+
+func TestSparseFLOPsPerQuery(t *testing.T) {
+	cfg := tiny()
+	want := int64(cfg.NumTables*cfg.Pooling*cfg.EmbeddingDim) * int64(cfg.BatchSize)
+	if got := cfg.SparseFLOPsPerQuery(); got != want {
+		t.Fatalf("SparseFLOPsPerQuery = %d, want %d", got, want)
+	}
+	if cfg.DenseFLOPsPerQuery() != cfg.DenseFLOPsPerInput()*int64(cfg.BatchSize) {
+		t.Fatal("query FLOPs must scale with batch")
+	}
+}
+
+func TestNewModelAndForward(t *testing.T) {
+	m, err := New(tiny(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := tensor.Vector{0.1, 0.2, 0.3, 0.4}
+	sparse := [][]int64{{0, 1}, {2, 3}, {4, 5}}
+	p, err := m.Forward(dense, sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0 || p > 1 || math.IsNaN(float64(p)) {
+		t.Fatalf("probability = %v", p)
+	}
+	// Deterministic across instances with the same seed.
+	m2, _ := New(tiny(), 1)
+	p2, _ := m2.Forward(dense, sparse)
+	if p != p2 {
+		t.Fatal("same seed must reproduce predictions")
+	}
+	// Wrong sparse arity errors.
+	if _, err := m.Forward(dense, sparse[:2]); err == nil {
+		t.Fatal("want arity error")
+	}
+}
+
+func TestForwardPooledMatchesForward(t *testing.T) {
+	m, err := New(tiny(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := tensor.Vector{0.5, -0.5, 0.25, 1}
+	sparse := [][]int64{{1, 2, 3}, {4, 4}, {10}}
+	want, err := m.Forward(dense, sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled := make([]tensor.Vector, len(m.Tables))
+	for t2, tab := range m.Tables {
+		pooled[t2] = make(tensor.Vector, m.Config.EmbeddingDim)
+		if err := tab.GatherPool(pooled[t2], sparse[t2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := m.ForwardPooled(dense, pooled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("ForwardPooled = %v, Forward = %v", got, want)
+	}
+}
+
+func TestForwardBatch(t *testing.T) {
+	cfg := tiny()
+	m, err := New(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	denseIn := tensor.NewMatrix(2, cfg.DenseInputDim)
+	tensor.InitUniform(denseIn.Data, 1, 4)
+	batches := make([]*embedding.Batch, cfg.NumTables)
+	for i := range batches {
+		batches[i] = &embedding.Batch{
+			Indices: []int64{0, 1, 2, 3},
+			Offsets: []int32{0, 2},
+		}
+	}
+	probs, err := m.ForwardBatch(denseIn, batches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probs) != 2 {
+		t.Fatalf("probs = %v", probs)
+	}
+	// Each row must equal the per-input Forward.
+	for i := 0; i < 2; i++ {
+		idx := make([][]int64, cfg.NumTables)
+		for t2 := range idx {
+			idx[t2] = batches[t2].InputIndices(i)
+		}
+		want, err := m.Forward(denseIn.Row(i), idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if probs[i] != want {
+			t.Fatalf("batch[%d] = %v, want %v", i, probs[i], want)
+		}
+	}
+	// Mismatched batch sizes error.
+	bad := make([]*embedding.Batch, cfg.NumTables)
+	for i := range bad {
+		bad[i] = &embedding.Batch{Indices: []int64{0}, Offsets: []int32{0}}
+	}
+	if _, err := m.ForwardBatch(denseIn, bad); err == nil {
+		t.Fatal("want batch-size mismatch error")
+	}
+}
+
+func TestModelClone(t *testing.T) {
+	m, _ := New(tiny(), 5)
+	c := m.Clone()
+	dense := tensor.Vector{1, 2, 3, 4}
+	sparse := [][]int64{{0}, {1}, {2}}
+	pm, _ := m.Forward(dense, sparse)
+	pc, _ := c.Forward(dense, sparse)
+	if pm != pc {
+		t.Fatal("clone must predict identically")
+	}
+	// Clone's tables are private copies.
+	_ = c.Tables[0].SetVector(0, make(tensor.Vector, 4))
+	pc2, _ := c.Forward(dense, sparse)
+	pm2, _ := m.Forward(dense, sparse)
+	if pm2 != pm {
+		t.Fatal("mutating clone affected original")
+	}
+	if pc2 == pc {
+		t.Fatal("clone mutation had no effect")
+	}
+}
+
+func TestNewDenseOnly(t *testing.T) {
+	m, err := NewDenseOnly(tiny(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Tables) != 0 {
+		t.Fatal("dense-only model must have no tables")
+	}
+	pooled := make([]tensor.Vector, 3)
+	for i := range pooled {
+		pooled[i] = make(tensor.Vector, 4)
+	}
+	p, err := m.ForwardPooled(tensor.Vector{1, 2, 3, 4}, pooled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(float64(p)) {
+		t.Fatal("NaN prediction")
+	}
+}
+
+func TestInteractValidation(t *testing.T) {
+	m, _ := New(tiny(), 1)
+	bottom := make(tensor.Vector, 4)
+	pooled := make([]tensor.Vector, 3)
+	for i := range pooled {
+		pooled[i] = make(tensor.Vector, 4)
+	}
+	dst := make(tensor.Vector, 10)
+	if err := m.Interact(dst, bottom, pooled); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Interact(dst, bottom, pooled[:2]); err == nil {
+		t.Fatal("want pooled arity error")
+	}
+	if err := m.Interact(make(tensor.Vector, 5), bottom, pooled); err == nil {
+		t.Fatal("want dst size error")
+	}
+}
+
+func TestInteractHandChecked(t *testing.T) {
+	cfg := tiny()
+	cfg.NumTables = 1
+	cfg.EmbeddingDim = 2
+	cfg.BottomMLP = []int{4, 2}
+	m, err := New(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bottom := tensor.Vector{1, 2}
+	pooled := []tensor.Vector{{3, 4}}
+	// InteractionDim = C(2,2)=1 pair + dim 2 = 3.
+	dst := make(tensor.Vector, 3)
+	if err := m.Interact(dst, bottom, pooled); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 11 { // 1*3 + 2*4
+		t.Fatalf("pair dot = %v, want 11", dst[0])
+	}
+	if dst[1] != 1 || dst[2] != 2 {
+		t.Fatalf("bottom copy = %v", dst[1:])
+	}
+}

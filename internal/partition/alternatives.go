@@ -1,0 +1,98 @@
+package partition
+
+import (
+	"fmt"
+)
+
+// The policies in this file are the comparison points for the partitioner
+// ablation: the paper's DP should beat (or match) all of them on expected
+// memory, which BenchmarkAblation_PartitionerPolicy quantifies.
+
+// SingleShard returns the trivial no-partitioning plan (the model-wise
+// layout of one full-table shard).
+func SingleShard(rows int64) Plan {
+	return Plan{Boundaries: []int64{rows}}
+}
+
+// EqualSize splits the sorted table into numShards equally sized shards,
+// ignoring access skew entirely.
+func EqualSize(rows int64, numShards int) (Plan, error) {
+	if numShards <= 0 {
+		return Plan{}, fmt.Errorf("partition: numShards must be positive, got %d", numShards)
+	}
+	if int64(numShards) > rows {
+		numShards = int(rows)
+	}
+	b := make([]int64, numShards)
+	for i := 1; i <= numShards; i++ {
+		b[i-1] = rows * int64(i) / int64(numShards)
+	}
+	return Plan{Boundaries: dedupBoundaries(b)}, nil
+}
+
+// GreedyCoverage places shard boundaries where the access CDF crosses the
+// given coverage targets (e.g. 0.5, 0.9, 0.99): a hotness-threshold
+// heuristic that captures skew but, unlike the DP, never weighs shard
+// capacity against replica count.
+func GreedyCoverage(cdf CDF, coverages []float64) (Plan, error) {
+	rows := cdf.Rows()
+	if rows <= 0 {
+		return Plan{}, fmt.Errorf("partition: CDF covers no rows")
+	}
+	var b []int64
+	prevCut := int64(0)
+	prevCov := 0.0
+	for _, cov := range coverages {
+		if cov <= prevCov || cov >= 1 {
+			return Plan{}, fmt.Errorf("partition: coverages must be increasing in (0,1), got %v", coverages)
+		}
+		cut := searchCDF(cdf, cov)
+		if cut > prevCut && cut < rows {
+			b = append(b, cut)
+			prevCut = cut
+		}
+		prevCov = cov
+	}
+	b = append(b, rows)
+	return Plan{Boundaries: dedupBoundaries(b)}, nil
+}
+
+// searchCDF returns the smallest j with At(j) >= cov via binary search
+// (CDFs are non-decreasing).
+func searchCDF(cdf CDF, cov float64) int64 {
+	lo, hi := int64(0), cdf.Rows()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cdf.At(mid) >= cov {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+func dedupBoundaries(b []int64) []int64 {
+	out := b[:0]
+	prev := int64(0)
+	for _, x := range b {
+		if x > prev {
+			out = append(out, x)
+			prev = x
+		}
+	}
+	return out
+}
+
+// PlanCost evaluates any plan under a cost function (sum of shard costs).
+func PlanCost(p Plan, cost CostFunc) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	var total float64
+	for i := 0; i < p.NumShards(); i++ {
+		lo, hi := p.ShardRange(i)
+		total += cost(lo, hi)
+	}
+	return total, nil
+}

@@ -1,0 +1,210 @@
+package serving
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/bucketize"
+	"repro/internal/embedding"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+// DenseShard is the dense DNN microservice: it owns the bottom/top MLP
+// parameters and, per table, the shard boundaries plus a gather client for
+// every embedding shard. On Predict it bucketizes the sparse inputs, fans
+// the gathers out concurrently, merges the pooled partial sums and
+// finishes the forward pass (Sec. IV-A).
+type DenseShard struct {
+	cfg        model.Config
+	boundaries [][]int64        // per table: plan boundaries in sorted space
+	clients    [][]GatherClient // per table, per shard
+
+	mu    sync.Mutex // guards the model's scratch buffers
+	dense *model.Model
+
+	Latency *metrics.LatencyRecorder
+	QPS     *metrics.QPSMeter
+}
+
+// NewDenseShard wires a dense service. denseModel needs only its MLPs
+// (model.NewDenseOnly suffices); boundaries[t] is table t's partition plan
+// and clients[t][s] the client for shard s of table t (typically a
+// ReplicaPool).
+func NewDenseShard(denseModel *model.Model, boundaries [][]int64, clients [][]GatherClient) (*DenseShard, error) {
+	cfg := denseModel.Config
+	if len(boundaries) != cfg.NumTables || len(clients) != cfg.NumTables {
+		return nil, fmt.Errorf("serving: dense shard needs %d tables of boundaries/clients, got %d/%d",
+			cfg.NumTables, len(boundaries), len(clients))
+	}
+	for t := range boundaries {
+		if len(boundaries[t]) == 0 {
+			return nil, fmt.Errorf("serving: table %d has no shard boundaries", t)
+		}
+		if len(clients[t]) != len(boundaries[t]) {
+			return nil, fmt.Errorf("serving: table %d has %d clients for %d shards",
+				t, len(clients[t]), len(boundaries[t]))
+		}
+		if last := boundaries[t][len(boundaries[t])-1]; last != cfg.RowsPerTable {
+			return nil, fmt.Errorf("serving: table %d boundaries end at %d, want %d",
+				t, last, cfg.RowsPerTable)
+		}
+	}
+	return &DenseShard{
+		cfg:        cfg,
+		boundaries: boundaries,
+		clients:    clients,
+		dense:      denseModel,
+		Latency:    metrics.NewLatencyRecorder(0),
+		QPS:        metrics.NewQPSMeter(10 * time.Second),
+	}, nil
+}
+
+// gatherResult carries one shard's reply through the fan-out.
+type gatherResult struct {
+	table, shard int
+	reply        GatherReply
+	err          error
+}
+
+// Predict services one query whose sparse indices are in sorted-ID space.
+func (d *DenseShard) Predict(req *PredictRequest, reply *PredictReply) error {
+	start := time.Now()
+	if err := req.Validate(d.cfg.NumTables); err != nil {
+		return err
+	}
+	if req.DenseDim != d.cfg.DenseInputDim {
+		return fmt.Errorf("serving: dense dim %d != model %d", req.DenseDim, d.cfg.DenseInputDim)
+	}
+	bs := req.BatchSize
+
+	// Bucketize every table's batch across its shards (Sec. IV-C).
+	type call struct {
+		table, shard int
+		req          GatherRequest
+	}
+	var calls []call
+	for t := 0; t < d.cfg.NumTables; t++ {
+		b := &embedding.Batch{Indices: req.Tables[t].Indices, Offsets: req.Tables[t].Offsets}
+		parts, err := bucketize.Split(b, d.boundaries[t])
+		if err != nil {
+			return fmt.Errorf("serving: table %d: %w", t, err)
+		}
+		for s, part := range parts {
+			calls = append(calls, call{
+				table: t,
+				shard: s,
+				req: GatherRequest{
+					Table:   t,
+					Shard:   s,
+					Indices: part.Indices,
+					Offsets: part.Offsets,
+				},
+			})
+		}
+	}
+
+	// Fan out the gathers concurrently — one RPC per (table, shard).
+	results := make(chan gatherResult, len(calls))
+	for i := range calls {
+		c := calls[i]
+		go func() {
+			r := gatherResult{table: c.table, shard: c.shard}
+			r.err = d.clients[c.table][c.shard].Gather(&c.req, &r.reply)
+			results <- r
+		}()
+	}
+
+	// Merge per-table partial sums (pooling is additive).
+	pooled := make([]*tensor.Matrix, d.cfg.NumTables)
+	for t := range pooled {
+		pooled[t] = tensor.NewMatrix(bs, d.cfg.EmbeddingDim)
+	}
+	for range calls {
+		r := <-results
+		if r.err != nil {
+			return fmt.Errorf("serving: gather t%d s%d: %w", r.table, r.shard, r.err)
+		}
+		if r.reply.BatchSize != bs || r.reply.Dim != d.cfg.EmbeddingDim {
+			return fmt.Errorf("serving: gather t%d s%d returned %dx%d, want %dx%d",
+				r.table, r.shard, r.reply.BatchSize, r.reply.Dim, bs, d.cfg.EmbeddingDim)
+		}
+		for i, v := range r.reply.Pooled {
+			pooled[r.table].Data[i] += v
+		}
+	}
+
+	// Dense forward passes (scratch buffers are per-model; serialize).
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	probs := make([]float32, bs)
+	rowPooled := make([]tensor.Vector, d.cfg.NumTables)
+	for i := 0; i < bs; i++ {
+		denseRow := tensor.Vector(req.Dense[i*req.DenseDim : (i+1)*req.DenseDim])
+		for t := range rowPooled {
+			rowPooled[t] = pooled[t].Row(i)
+		}
+		p, err := d.dense.ForwardPooled(denseRow, rowPooled)
+		if err != nil {
+			return fmt.Errorf("serving: forward input %d: %w", i, err)
+		}
+		probs[i] = p
+	}
+	reply.Probs = probs
+	d.Latency.Observe(time.Since(start))
+	d.QPS.Mark()
+	return nil
+}
+
+var _ PredictClient = (*DenseShard)(nil)
+
+// Monolith is the model-wise baseline service: the full model in one
+// process, queried with original-ID batches.
+type Monolith struct {
+	mu    sync.Mutex
+	model *model.Model
+
+	Latency *metrics.LatencyRecorder
+	QPS     *metrics.QPSMeter
+}
+
+// NewMonolith wraps a fully instantiated model (tables included).
+func NewMonolith(m *model.Model) *Monolith {
+	return &Monolith{
+		model:   m,
+		Latency: metrics.NewLatencyRecorder(0),
+		QPS:     metrics.NewQPSMeter(10 * time.Second),
+	}
+}
+
+// Predict services one query with indices in original table-ID space.
+func (m *Monolith) Predict(req *PredictRequest, reply *PredictReply) error {
+	start := time.Now()
+	cfg := m.model.Config
+	if err := req.Validate(cfg.NumTables); err != nil {
+		return err
+	}
+	if req.DenseDim != cfg.DenseInputDim {
+		return fmt.Errorf("serving: dense dim %d != model %d", req.DenseDim, cfg.DenseInputDim)
+	}
+	dense := tensor.NewMatrix(req.BatchSize, req.DenseDim)
+	copy(dense.Data, req.Dense)
+	batches := make([]*embedding.Batch, cfg.NumTables)
+	for t := range batches {
+		batches[t] = &embedding.Batch{Indices: req.Tables[t].Indices, Offsets: req.Tables[t].Offsets}
+	}
+	m.mu.Lock()
+	probs, err := m.model.ForwardBatch(dense, batches)
+	m.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	reply.Probs = probs
+	m.Latency.Observe(time.Since(start))
+	m.QPS.Mark()
+	return nil
+}
+
+var _ PredictClient = (*Monolith)(nil)

@@ -1,0 +1,206 @@
+package serving
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/embedding"
+	"repro/internal/model"
+)
+
+// Transport selects how shards communicate in a live deployment.
+type Transport string
+
+// Supported transports.
+const (
+	// TransportLocal wires shards with direct method calls (fast,
+	// deterministic; used by tests and the quickstart).
+	TransportLocal Transport = "local"
+	// TransportTCP runs every shard behind net/rpc on loopback TCP —
+	// real microservices exchanging serialized messages.
+	TransportTCP Transport = "tcp"
+)
+
+// BuildOptions configures BuildElastic.
+type BuildOptions struct {
+	Transport Transport
+	// Replicas[s] is the initial replica count of shard s in every
+	// table's pool (nil = one replica each). Replicas share the sorted
+	// table storage in-process; they model independent serving replicas.
+	Replicas []int
+}
+
+// LiveDeployment is a fully wired ElasticRec serving instance.
+type LiveDeployment struct {
+	Pre        *Preprocessed
+	Dense      *DenseShard
+	Boundaries []int64
+	// Shards[t][s] is the primary service instance of shard s of table
+	// t (replicas added to the pools share its storage and metrics).
+	Shards [][]*EmbeddingShard
+	// Pools[t][s] load-balances shard s of table t.
+	Pools [][]*ReplicaPool
+
+	servers []*RPCServer
+	closers []io.Closer
+}
+
+// BuildElastic assembles a live ElasticRec deployment from a fully
+// instantiated model: it preprocesses (hotness-sorts) the tables from the
+// recorded access statistics, slices every table at the plan boundaries,
+// spins each slice up as an embedding-shard service (optionally behind
+// loopback-TCP RPC), and wires a dense shard over the replica pools.
+func BuildElastic(m *model.Model, stats []*embedding.AccessStats, boundaries []int64, opts BuildOptions) (*LiveDeployment, error) {
+	if len(boundaries) == 0 {
+		return nil, fmt.Errorf("serving: empty partition boundaries")
+	}
+	if boundaries[len(boundaries)-1] != m.Config.RowsPerTable {
+		return nil, fmt.Errorf("serving: boundaries end at %d, table has %d rows",
+			boundaries[len(boundaries)-1], m.Config.RowsPerTable)
+	}
+	if opts.Transport == "" {
+		opts.Transport = TransportLocal
+	}
+	pre, err := Preprocess(m, stats)
+	if err != nil {
+		return nil, err
+	}
+	ld := &LiveDeployment{Pre: pre, Boundaries: boundaries}
+
+	cfg := m.Config
+	numShards := len(boundaries)
+	replicaCount := func(s int) int {
+		if s < len(opts.Replicas) && opts.Replicas[s] > 0 {
+			return opts.Replicas[s]
+		}
+		return 1
+	}
+
+	allBoundaries := make([][]int64, cfg.NumTables)
+	allClients := make([][]GatherClient, cfg.NumTables)
+	for t := 0; t < cfg.NumTables; t++ {
+		allBoundaries[t] = boundaries
+		var shardRow []*EmbeddingShard
+		var poolRow []*ReplicaPool
+		var clientRow []GatherClient
+		lo := int64(0)
+		for s := 0; s < numShards; s++ {
+			hi := boundaries[s]
+			svc, err := NewEmbeddingShard(t, s, pre.Sorted[t], lo, hi)
+			if err != nil {
+				ld.Close()
+				return nil, err
+			}
+			shardRow = append(shardRow, svc)
+			pool := NewReplicaPool()
+			for r := 0; r < replicaCount(s); r++ {
+				client, err := ld.exportGather(svc, fmt.Sprintf("T%dS%dR%d", t, s, r), opts.Transport)
+				if err != nil {
+					ld.Close()
+					return nil, err
+				}
+				pool.Add(client)
+			}
+			poolRow = append(poolRow, pool)
+			clientRow = append(clientRow, pool)
+			lo = hi
+		}
+		ld.Shards = append(ld.Shards, shardRow)
+		ld.Pools = append(ld.Pools, poolRow)
+		allClients[t] = clientRow
+	}
+
+	denseModel, err := model.NewDenseOnly(cfg, 0)
+	if err != nil {
+		ld.Close()
+		return nil, err
+	}
+	// The dense shard must score with the same MLP parameters as the
+	// source model, so copy them over.
+	denseModel.Bottom = m.Bottom.Clone()
+	denseModel.Top = m.Top.Clone()
+	dense, err := NewDenseShard(denseModel, allBoundaries, allClients)
+	if err != nil {
+		ld.Close()
+		return nil, err
+	}
+	ld.Dense = dense
+	return ld, nil
+}
+
+// exportGather wraps a shard service in the chosen transport.
+func (ld *LiveDeployment) exportGather(svc GatherClient, name string, tr Transport) (GatherClient, error) {
+	switch tr {
+	case TransportLocal:
+		return svc, nil
+	case TransportTCP:
+		srv, err := NewRPCServer("127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		if err := srv.RegisterGather(name, svc); err != nil {
+			srv.Close()
+			return nil, err
+		}
+		ld.servers = append(ld.servers, srv)
+		client, err := DialGather(srv.Addr(), name)
+		if err != nil {
+			return nil, err
+		}
+		ld.closers = append(ld.closers, client)
+		return client, nil
+	default:
+		return nil, fmt.Errorf("serving: unknown transport %q", tr)
+	}
+}
+
+// Predict services a query whose sparse indices are in the *original*
+// table-ID space: the frontend applies the preprocessing remap and then
+// calls the dense shard (the microservice entry point).
+func (ld *LiveDeployment) Predict(req *PredictRequest, reply *PredictReply) error {
+	remapped, err := ld.Pre.RemapRequest(req)
+	if err != nil {
+		return err
+	}
+	return ld.Dense.Predict(remapped, reply)
+}
+
+var _ PredictClient = (*LiveDeployment)(nil)
+
+// ShardUtility returns the Fig. 14-style memory utility of shard s of
+// table t over the traffic served so far.
+func (ld *LiveDeployment) ShardUtility(t, s int) float64 {
+	return ld.Shards[t][s].Utility.Utility()
+}
+
+// Close tears down any RPC servers and client connections.
+func (ld *LiveDeployment) Close() {
+	for _, c := range ld.closers {
+		_ = c.Close()
+	}
+	ld.closers = nil
+	for _, s := range ld.servers {
+		_ = s.Close()
+	}
+	ld.servers = nil
+}
+
+// CollectStats replays the batches in original-ID space into fresh access
+// statistics — the profiling window production servers run before
+// preprocessing (Sec. IV-B).
+func CollectStats(cfg model.Config, perTable [][]*embedding.Batch) ([]*embedding.AccessStats, error) {
+	if len(perTable) != cfg.NumTables {
+		return nil, fmt.Errorf("serving: stats for %d tables, want %d", len(perTable), cfg.NumTables)
+	}
+	out := make([]*embedding.AccessStats, cfg.NumTables)
+	for t := range perTable {
+		st := embedding.NewAccessStats(cfg.RowsPerTable)
+		for _, b := range perTable[t] {
+			if err := st.RecordBatch(b); err != nil {
+				return nil, fmt.Errorf("serving: table %d: %w", t, err)
+			}
+		}
+		out[t] = st
+	}
+	return out, nil
+}

@@ -1,0 +1,79 @@
+package serving
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/embedding"
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+)
+
+// EmbeddingShard is one sparse-shard microservice instance: it owns a
+// contiguous hotness-sorted row range of one table and services bucketized
+// gather-and-pool requests for it. Safe for concurrent use — gathers are
+// read-only over the shard's rows.
+type EmbeddingShard struct {
+	TableIndex int
+	ShardIndex int
+	RowLo      int64 // sorted-space range [RowLo, RowHi)
+	RowHi      int64
+
+	table *embedding.Table // view of sorted rows [RowLo, RowHi)
+
+	// Utility tracks distinct rows touched (Figs. 14/17); Latency and
+	// QPS feed the HPA-style live autoscaler.
+	Utility *metrics.UtilityTracker
+	Latency *metrics.LatencyRecorder
+	QPS     *metrics.QPSMeter
+}
+
+// NewEmbeddingShard creates a shard service over sorted rows [lo, hi) of
+// sortedTable (table index t, shard index s within the plan).
+func NewEmbeddingShard(t, s int, sortedTable *embedding.Table, lo, hi int64) (*EmbeddingShard, error) {
+	view, err := sortedTable.Slice(lo, hi)
+	if err != nil {
+		return nil, fmt.Errorf("serving: shard t%d s%d: %w", t, s, err)
+	}
+	return &EmbeddingShard{
+		TableIndex: t,
+		ShardIndex: s,
+		RowLo:      lo,
+		RowHi:      hi,
+		table:      view,
+		Utility:    metrics.NewUtilityTracker(hi - lo),
+		Latency:    metrics.NewLatencyRecorder(0),
+		QPS:        metrics.NewQPSMeter(10 * time.Second),
+	}, nil
+}
+
+// Rows returns the shard's row count.
+func (s *EmbeddingShard) Rows() int64 { return s.RowHi - s.RowLo }
+
+// ParamBytes returns the shard's parameter footprint.
+func (s *EmbeddingShard) ParamBytes() int64 { return s.table.SizeBytes() }
+
+// Gather services one bucketized gather-and-pool request. It satisfies
+// GatherClient, so a shard can be called directly (in-process transport)
+// or registered with net/rpc.
+func (s *EmbeddingShard) Gather(req *GatherRequest, reply *GatherReply) error {
+	start := time.Now()
+	b := embedding.Batch{Indices: req.Indices, Offsets: req.Offsets}
+	if err := b.Validate(); err != nil {
+		return fmt.Errorf("serving: shard t%d s%d: %w", s.TableIndex, s.ShardIndex, err)
+	}
+	bs := b.BatchSize()
+	out := tensor.NewMatrix(bs, s.table.Dim)
+	if err := s.table.GatherPoolBatch(out, &b); err != nil {
+		return fmt.Errorf("serving: shard t%d s%d: %w", s.TableIndex, s.ShardIndex, err)
+	}
+	s.Utility.TouchAll(req.Indices)
+	reply.BatchSize = bs
+	reply.Dim = s.table.Dim
+	reply.Pooled = out.Data
+	s.Latency.Observe(time.Since(start))
+	s.QPS.Mark()
+	return nil
+}
+
+var _ GatherClient = (*EmbeddingShard)(nil)

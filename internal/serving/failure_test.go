@@ -1,0 +1,135 @@
+package serving
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/embedding"
+)
+
+// flakyClient fails the first failures calls, then delegates.
+type flakyClient struct {
+	failures int
+	calls    int
+	inner    GatherClient
+}
+
+func (f *flakyClient) Gather(req *GatherRequest, reply *GatherReply) error {
+	f.calls++
+	if f.calls <= f.failures {
+		return fmt.Errorf("flaky: injected failure %d", f.calls)
+	}
+	return f.inner.Gather(req, reply)
+}
+
+func TestReplicaPoolFailsOverToHealthyReplica(t *testing.T) {
+	tab, err := embedding.NewRandomTable("t", 100, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy, err := NewEmbeddingShard(0, 0, tab, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := &flakyClient{failures: 1 << 30, inner: healthy}
+	pool := NewReplicaPool(dead, healthy)
+	req := &GatherRequest{Indices: []int64{1, 2}, Offsets: []int32{0}}
+	// Every call must succeed despite the dead replica in rotation.
+	for i := 0; i < 10; i++ {
+		var reply GatherReply
+		if err := pool.Gather(req, &reply); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+}
+
+func TestReplicaPoolAllReplicasDown(t *testing.T) {
+	dead1 := &flakyClient{failures: 1 << 30}
+	dead2 := &flakyClient{failures: 1 << 30}
+	pool := NewReplicaPool(dead1, dead2)
+	var reply GatherReply
+	err := pool.Gather(&GatherRequest{Indices: []int64{0}, Offsets: []int32{0}}, &reply)
+	if err == nil {
+		t.Fatal("want error when every replica fails")
+	}
+	if !strings.Contains(err.Error(), "all 2 replicas failed") {
+		t.Fatalf("error %q lacks failover context", err)
+	}
+}
+
+func TestReplicaPoolTransientFailureRecovers(t *testing.T) {
+	tab, _ := embedding.NewRandomTable("t", 100, 4, 1)
+	healthy, _ := NewEmbeddingShard(0, 0, tab, 0, 100)
+	flaky := &flakyClient{failures: 2, inner: healthy}
+	pool := NewReplicaPool(flaky)
+	req := &GatherRequest{Indices: []int64{1}, Offsets: []int32{0}}
+	var reply GatherReply
+	// Single replica: first calls fail outright (no other replica).
+	if err := pool.Gather(req, &reply); err == nil {
+		t.Fatal("want failure during the flaky window")
+	}
+	if err := pool.Gather(req, &reply); err == nil {
+		t.Fatal("want failure during the flaky window")
+	}
+	// After the transient window the same pool recovers.
+	if err := pool.Gather(req, &reply); err != nil {
+		t.Fatalf("recovered replica still failing: %v", err)
+	}
+}
+
+func TestPredictSurvivesShardReplicaFailure(t *testing.T) {
+	cfg := liveConfig()
+	m, stats, gen := buildFixture(t, cfg)
+	ld, err := BuildElastic(m, stats, []int64{100, cfg.RowsPerTable}, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ld.Close()
+	// Poison every pool with a dead replica alongside the healthy one;
+	// predictions must keep succeeding via failover.
+	for t2 := range ld.Pools {
+		for s := range ld.Pools[t2] {
+			ld.Pools[t2][s].Add(&flakyClient{failures: 1 << 30})
+		}
+	}
+	for i := 0; i < 10; i++ {
+		req := makeRequest(cfg, gen, uint64(i))
+		var reply PredictReply
+		if err := ld.Predict(req, &reply); err != nil {
+			t.Fatalf("query %d failed despite healthy replicas: %v", i, err)
+		}
+	}
+}
+
+func TestPredictFailsWhenShardUnavailable(t *testing.T) {
+	cfg := liveConfig()
+	m, stats, gen := buildFixture(t, cfg)
+	ld, err := BuildElastic(m, stats, []int64{100, cfg.RowsPerTable}, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ld.Close()
+	// Replace table 0 shard 0's only replica with a dead one: the dense
+	// shard must surface the failure.
+	ld.Pools[0][0].Add(&flakyClient{failures: 1 << 30})
+	ld.Pools[0][0].Remove() // removes the healthy one (LIFO)
+	// The pool now contains healthy(original)+dead minus newest... make
+	// the state explicit: drain to one replica and verify behaviour by
+	// checking an actual failure occurs when all replicas are dead.
+	onlyDead := NewReplicaPool(&flakyClient{failures: 1 << 30})
+	ld.Pools[0][0] = onlyDead
+	// Rewire the dense shard's client for (0,0).
+	ldDenseRewire(t, ld, 0, 0, onlyDead)
+	req := makeRequest(cfg, gen, 1)
+	var reply PredictReply
+	if err := ld.Predict(req, &reply); err == nil {
+		t.Fatal("want error when a required shard is unavailable")
+	}
+}
+
+// ldDenseRewire swaps the dense shard's gather client for (table, shard).
+func ldDenseRewire(t *testing.T, ld *LiveDeployment, table, shard int, c GatherClient) {
+	t.Helper()
+	ld.Dense.clients[table][shard] = c
+}

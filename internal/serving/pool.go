@@ -1,0 +1,214 @@
+package serving
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ReplicaPool load-balances gather calls across replica clients in round
+// robin — the role Linkerd plays in the paper's deployment. Replicas can
+// be added and removed at runtime, which is how the live autoscaler scales
+// a shard's microservice in and out.
+type ReplicaPool struct {
+	mu       sync.RWMutex
+	replicas []GatherClient
+	next     atomic.Uint64
+}
+
+// NewReplicaPool creates a pool over the given replicas.
+func NewReplicaPool(replicas ...GatherClient) *ReplicaPool {
+	p := &ReplicaPool{}
+	p.replicas = append(p.replicas, replicas...)
+	return p
+}
+
+// Gather dispatches to the next replica (round robin). On failure it
+// retries the remaining replicas once each — the request-level failover a
+// service mesh performs when a pod dies mid-flight — and returns the last
+// error only if every replica fails.
+func (p *ReplicaPool) Gather(req *GatherRequest, reply *GatherReply) error {
+	p.mu.RLock()
+	n := len(p.replicas)
+	if n == 0 {
+		p.mu.RUnlock()
+		return fmt.Errorf("serving: replica pool is empty")
+	}
+	replicas := make([]GatherClient, n)
+	copy(replicas, p.replicas)
+	p.mu.RUnlock()
+
+	start := p.next.Add(1)
+	var lastErr error
+	for attempt := 0; attempt < n; attempt++ {
+		c := replicas[(start+uint64(attempt))%uint64(n)]
+		if err := c.Gather(req, reply); err != nil {
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("serving: all %d replicas failed: %w", n, lastErr)
+}
+
+// Add appends a replica to the rotation.
+func (p *ReplicaPool) Add(c GatherClient) {
+	p.mu.Lock()
+	p.replicas = append(p.replicas, c)
+	p.mu.Unlock()
+}
+
+// Remove drops the most recently added replica and returns it (nil when
+// the pool would become empty — a shard always keeps one replica).
+func (p *ReplicaPool) Remove() GatherClient {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.replicas) <= 1 {
+		return nil
+	}
+	c := p.replicas[len(p.replicas)-1]
+	p.replicas = p.replicas[:len(p.replicas)-1]
+	return c
+}
+
+// Size returns the replica count.
+func (p *ReplicaPool) Size() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.replicas)
+}
+
+var _ GatherClient = (*ReplicaPool)(nil)
+
+// PredictPool round-robins predict calls across dense-shard replicas.
+type PredictPool struct {
+	mu       sync.RWMutex
+	replicas []PredictClient
+	next     atomic.Uint64
+}
+
+// NewPredictPool creates a pool over the given replicas.
+func NewPredictPool(replicas ...PredictClient) *PredictPool {
+	p := &PredictPool{}
+	p.replicas = append(p.replicas, replicas...)
+	return p
+}
+
+// Predict dispatches to the next replica.
+func (p *PredictPool) Predict(req *PredictRequest, reply *PredictReply) error {
+	p.mu.RLock()
+	n := len(p.replicas)
+	if n == 0 {
+		p.mu.RUnlock()
+		return fmt.Errorf("serving: predict pool is empty")
+	}
+	c := p.replicas[p.next.Add(1)%uint64(n)]
+	p.mu.RUnlock()
+	return c.Predict(req, reply)
+}
+
+// Add appends a replica.
+func (p *PredictPool) Add(c PredictClient) {
+	p.mu.Lock()
+	p.replicas = append(p.replicas, c)
+	p.mu.Unlock()
+}
+
+// Size returns the replica count.
+func (p *PredictPool) Size() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.replicas)
+}
+
+var _ PredictClient = (*PredictPool)(nil)
+
+// AutoscaledShard couples a shard replica pool with its HPA-style target:
+// scale out when offered per-replica QPS exceeds QPSMax, scale in when it
+// falls well below (Sec. IV-D's throughput-centric sparse-shard policy).
+type AutoscaledShard struct {
+	Name   string
+	Pool   *ReplicaPool
+	QPSMax float64
+	// Spawn creates one more replica service for the shard.
+	Spawn func() (GatherClient, error)
+	// MaxReplicas caps scale-out (0 = unlimited).
+	MaxReplicas int
+}
+
+// LiveAutoscaler runs a background control loop over shard pools — an
+// in-process stand-in for the Kubernetes HPA controller, used by the live
+// serving example.
+type LiveAutoscaler struct {
+	Shards   []*AutoscaledShard
+	Interval time.Duration
+	// OfferedQPS reports the current aggregate load directed at a shard
+	// name; typically wired to the frontend's QPS meter.
+	OfferedQPS func(name string) float64
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Start launches the control loop.
+func (a *LiveAutoscaler) Start() {
+	if a.Interval <= 0 {
+		a.Interval = time.Second
+	}
+	a.stop = make(chan struct{})
+	a.wg.Add(1)
+	go func() {
+		defer a.wg.Done()
+		ticker := time.NewTicker(a.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-a.stop:
+				return
+			case <-ticker.C:
+				a.step()
+			}
+		}
+	}()
+}
+
+// step evaluates every shard once (exported for deterministic tests via
+// Evaluate).
+func (a *LiveAutoscaler) step() {
+	for _, s := range a.Shards {
+		_ = a.Evaluate(s)
+	}
+}
+
+// Evaluate runs one scaling decision for a shard and returns the replica
+// count after the decision.
+func (a *LiveAutoscaler) Evaluate(s *AutoscaledShard) int {
+	if a.OfferedQPS == nil || s.Pool == nil || s.QPSMax <= 0 {
+		return s.Pool.Size()
+	}
+	offered := a.OfferedQPS(s.Name)
+	replicas := s.Pool.Size()
+	perReplica := offered / float64(replicas)
+	switch {
+	case perReplica > s.QPSMax && (s.MaxReplicas == 0 || replicas < s.MaxReplicas):
+		if s.Spawn != nil {
+			if c, err := s.Spawn(); err == nil {
+				s.Pool.Add(c)
+			}
+		}
+	case replicas > 1 && offered/float64(replicas-1) < s.QPSMax*0.5:
+		s.Pool.Remove()
+	}
+	return s.Pool.Size()
+}
+
+// Stop halts the loop and waits for it to exit.
+func (a *LiveAutoscaler) Stop() {
+	if a.stop == nil {
+		return
+	}
+	close(a.stop)
+	a.wg.Wait()
+	a.stop = nil
+}

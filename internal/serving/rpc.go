@@ -1,0 +1,151 @@
+package serving
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+)
+
+// This file provides the loopback-TCP transport: every shard can be
+// exported as a net/rpc service (the stand-in for the paper's C++ gRPC
+// layer) and consumed through a GatherClient/PredictClient that dials it.
+
+// RPCServer hosts one or more shard services on a TCP listener.
+type RPCServer struct {
+	listener net.Listener
+	server   *rpc.Server
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	done     chan struct{}
+}
+
+// NewRPCServer starts a server on addr ("127.0.0.1:0" picks a free port).
+func NewRPCServer(addr string) (*RPCServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serving: rpc listen: %w", err)
+	}
+	s := &RPCServer{
+		listener: ln,
+		server:   rpc.NewServer(),
+		conns:    make(map[net.Conn]struct{}),
+		done:     make(chan struct{}),
+	}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener's address for clients to dial.
+func (s *RPCServer) Addr() string { return s.listener.Addr().String() }
+
+// RegisterGather exposes a gather service under name.
+func (s *RPCServer) RegisterGather(name string, svc GatherClient) error {
+	return s.server.RegisterName(name, &gatherRPC{svc: svc})
+}
+
+// RegisterPredict exposes a predict service under name.
+func (s *RPCServer) RegisterPredict(name string, svc PredictClient) error {
+	return s.server.RegisterName(name, &predictRPC{svc: svc})
+}
+
+func (s *RPCServer) acceptLoop() {
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				return // listener failed; stop accepting
+			}
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go func() {
+			s.server.ServeConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops the listener and all live connections.
+func (s *RPCServer) Close() error {
+	close(s.done)
+	err := s.listener.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	return err
+}
+
+// gatherRPC adapts a GatherClient to net/rpc's method signature.
+type gatherRPC struct{ svc GatherClient }
+
+// Gather is the exported RPC method.
+func (g *gatherRPC) Gather(req *GatherRequest, reply *GatherReply) error {
+	return g.svc.Gather(req, reply)
+}
+
+// predictRPC adapts a PredictClient to net/rpc's method signature.
+type predictRPC struct{ svc PredictClient }
+
+// Predict is the exported RPC method.
+func (p *predictRPC) Predict(req *PredictRequest, reply *PredictReply) error {
+	return p.svc.Predict(req, reply)
+}
+
+// RPCGatherClient calls a remote gather service.
+type RPCGatherClient struct {
+	client *rpc.Client
+	method string
+}
+
+// DialGather connects to a gather service registered under name at addr.
+func DialGather(addr, name string) (*RPCGatherClient, error) {
+	c, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serving: rpc dial %s: %w", addr, err)
+	}
+	return &RPCGatherClient{client: c, method: name + ".Gather"}, nil
+}
+
+// Gather implements GatherClient over the wire.
+func (c *RPCGatherClient) Gather(req *GatherRequest, reply *GatherReply) error {
+	return c.client.Call(c.method, req, reply)
+}
+
+// Close tears down the connection.
+func (c *RPCGatherClient) Close() error { return c.client.Close() }
+
+var _ GatherClient = (*RPCGatherClient)(nil)
+
+// RPCPredictClient calls a remote predict service.
+type RPCPredictClient struct {
+	client *rpc.Client
+	method string
+}
+
+// DialPredict connects to a predict service registered under name at addr.
+func DialPredict(addr, name string) (*RPCPredictClient, error) {
+	c, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serving: rpc dial %s: %w", addr, err)
+	}
+	return &RPCPredictClient{client: c, method: name + ".Predict"}, nil
+}
+
+// Predict implements PredictClient over the wire.
+func (c *RPCPredictClient) Predict(req *PredictRequest, reply *PredictReply) error {
+	return c.client.Call(c.method, req, reply)
+}
+
+// Close tears down the connection.
+func (c *RPCPredictClient) Close() error { return c.client.Close() }
+
+var _ PredictClient = (*RPCPredictClient)(nil)

@@ -1,0 +1,149 @@
+package serving
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/embedding"
+)
+
+// capacityLimitedClient simulates a shard replica with a fixed service
+// time and bounded internal parallelism: throughput saturates at
+// parallelism/serviceTime and latency inflates beyond it — the knee the
+// stress test is designed to find.
+type capacityLimitedClient struct {
+	sem         chan struct{}
+	serviceTime time.Duration
+}
+
+func newCapacityLimitedClient(parallelism int, serviceTime time.Duration) *capacityLimitedClient {
+	return &capacityLimitedClient{
+		sem:         make(chan struct{}, parallelism),
+		serviceTime: serviceTime,
+	}
+}
+
+func (c *capacityLimitedClient) Gather(req *GatherRequest, reply *GatherReply) error {
+	c.sem <- struct{}{}
+	time.Sleep(c.serviceTime)
+	<-c.sem
+	reply.BatchSize = len(req.Offsets)
+	reply.Dim = 1
+	reply.Pooled = make([]float32, reply.BatchSize)
+	return nil
+}
+
+func TestStressTestFindsCapacity(t *testing.T) {
+	// 4-way parallel, 2 ms service time => ~2000 QPS capacity.
+	client := newCapacityLimitedClient(4, 2*time.Millisecond)
+	newReq := func() *GatherRequest {
+		return &GatherRequest{Indices: []int64{0}, Offsets: []int32{0}}
+	}
+	res, err := StressTest(client, newReq, StressOptions{
+		MaxConcurrency:   32,
+		RequestsPerLevel: 64,
+		KneeFactor:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) < 2 {
+		t.Fatalf("samples = %d", len(res.Samples))
+	}
+	// QPSMax should land in the right ballpark (0.5x..1.5x capacity —
+	// scheduling noise allowed).
+	if res.QPSMax < 1000 || res.QPSMax > 3000 {
+		t.Fatalf("QPSMax = %v, want ~2000", res.QPSMax)
+	}
+	// The ramp must detect the knee once concurrency far exceeds the
+	// client's parallelism.
+	if res.KneeConcurrency == 0 {
+		t.Fatal("knee not detected")
+	}
+	if res.KneeConcurrency <= 4 {
+		t.Fatalf("knee at concurrency %d, expected past the parallelism", res.KneeConcurrency)
+	}
+}
+
+func TestStressTestOnRealShard(t *testing.T) {
+	tab, err := embedding.NewRandomTable("t", 10_000, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard, err := NewEmbeddingShard(0, 0, tab, 0, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(0)
+	newReq := func() *GatherRequest {
+		n++
+		return &GatherRequest{Indices: []int64{n % 10_000, (n * 7) % 10_000}, Offsets: []int32{0}}
+	}
+	res, err := StressTest(shard, newReq, StressOptions{
+		MaxConcurrency:   8,
+		RequestsPerLevel: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QPSMax <= 0 {
+		t.Fatalf("QPSMax = %v", res.QPSMax)
+	}
+	// Samples must ramp in powers of two from 1.
+	if res.Samples[0].Concurrency != 1 {
+		t.Fatal("ramp must start at concurrency 1")
+	}
+}
+
+func TestStressTestValidation(t *testing.T) {
+	if _, err := StressTest(nil, nil, StressOptions{}); err == nil {
+		t.Fatal("want validation error")
+	}
+}
+
+type failingClient struct{}
+
+func (failingClient) Gather(*GatherRequest, *GatherReply) error {
+	return fmt.Errorf("injected failure")
+}
+
+func TestStressTestPropagatesErrors(t *testing.T) {
+	newReq := func() *GatherRequest {
+		return &GatherRequest{Indices: []int64{0}, Offsets: []int32{0}}
+	}
+	if _, err := StressTest(failingClient{}, newReq, StressOptions{}); err == nil {
+		t.Fatal("want injected failure")
+	}
+}
+
+// TestReplicaScalingIncreasesThroughput validates elasticity physically:
+// stress-testing a pool with more replicas of a capacity-limited shard
+// must sustain proportionally more QPS — the mechanism Figs. 4 and 7 rely
+// on. The synthetic client makes capacity deterministic regardless of the
+// host machine.
+func TestReplicaScalingIncreasesThroughput(t *testing.T) {
+	newReq := func() *GatherRequest {
+		return &GatherRequest{Indices: []int64{0}, Offsets: []int32{0}}
+	}
+	measure := func(replicas int) float64 {
+		pool := NewReplicaPool()
+		for i := 0; i < replicas; i++ {
+			pool.Add(newCapacityLimitedClient(1, 2*time.Millisecond))
+		}
+		res, err := StressTest(pool, newReq, StressOptions{
+			MaxConcurrency:   16,
+			RequestsPerLevel: 96,
+			KneeFactor:       10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.QPSMax
+	}
+	one := measure(1)
+	four := measure(4)
+	if four < 2.2*one {
+		t.Fatalf("4 replicas sustain %.0f QPS vs 1 replica's %.0f — scaling broken", four, one)
+	}
+}

@@ -1,0 +1,90 @@
+// Package serving is the live microservice engine: real goroutine-backed
+// model-shard services communicating over Go's net/rpc (loopback TCP) or a
+// zero-copy in-process transport. It implements the paper's life-of-a-query
+// path (Sec. IV-A): a dense DNN shard receives the query, bucketizes the
+// sparse inputs, fans gather RPCs out to the embedding shards, merges the
+// pooled partial sums, and finishes the forward pass. A monolithic server
+// provides the model-wise baseline, and the equivalence tests assert that
+// sharded serving reproduces monolithic predictions.
+package serving
+
+import (
+	"fmt"
+
+	"repro/internal/embedding"
+)
+
+// GatherRequest asks an embedding shard to gather-and-pool one batch. The
+// indices are shard-local (already bucketized and rebased, Fig. 11c).
+type GatherRequest struct {
+	Table   int
+	Shard   int
+	Indices []int64
+	Offsets []int32
+}
+
+// GatherReply carries the pooled partial sums: BatchSize rows of Dim
+// float32s, row-major.
+type GatherReply struct {
+	BatchSize int
+	Dim       int
+	Pooled    []float32
+}
+
+// TableBatch is one table's index/offset arrays within a predict request.
+type TableBatch struct {
+	Indices []int64
+	Offsets []int32
+}
+
+// PredictRequest is a full inference query: the dense features for every
+// input plus, per table, the sparse lookup batch. Index space depends on
+// the receiving service: the monolith expects original table IDs; the
+// ElasticRec dense shard expects hotness-sorted IDs (the preprocessing
+// remap is applied at the frontend, see Preprocessed.RemapBatch).
+type PredictRequest struct {
+	BatchSize int
+	DenseDim  int
+	Dense     []float32 // BatchSize x DenseDim, row-major
+	Tables    []TableBatch
+}
+
+// PredictReply carries one click probability per input.
+type PredictReply struct {
+	Probs []float32
+}
+
+// Validate checks the request's structural invariants against the model
+// geometry.
+func (r *PredictRequest) Validate(numTables int) error {
+	if r.BatchSize <= 0 {
+		return fmt.Errorf("serving: batch size must be positive, got %d", r.BatchSize)
+	}
+	if len(r.Dense) != r.BatchSize*r.DenseDim {
+		return fmt.Errorf("serving: dense payload %d != %d x %d", len(r.Dense), r.BatchSize, r.DenseDim)
+	}
+	if len(r.Tables) != numTables {
+		return fmt.Errorf("serving: %d table batches, want %d", len(r.Tables), numTables)
+	}
+	for t, tb := range r.Tables {
+		b := embedding.Batch{Indices: tb.Indices, Offsets: tb.Offsets}
+		if err := b.Validate(); err != nil {
+			return fmt.Errorf("serving: table %d: %w", t, err)
+		}
+		if len(tb.Offsets) != r.BatchSize {
+			return fmt.Errorf("serving: table %d batch size %d != %d", t, len(tb.Offsets), r.BatchSize)
+		}
+	}
+	return nil
+}
+
+// GatherClient is anything that can service a gather call: a local shard,
+// an RPC connection, or a load-balanced replica pool.
+type GatherClient interface {
+	Gather(req *GatherRequest, reply *GatherReply) error
+}
+
+// PredictClient is anything that can service a predict call.
+type PredictClient interface {
+	Predict(req *PredictRequest, reply *PredictReply) error
+}

@@ -1,0 +1,205 @@
+// Package tensor provides the minimal float32 linear-algebra substrate used
+// by the DLRM model: dense vectors, row-major matrices, matrix-vector and
+// matrix-matrix products, and the element-wise activations DLRM needs.
+//
+// The package is deliberately small and allocation-conscious: all hot-path
+// routines accept destination slices so the serving engine can reuse
+// buffers across queries.
+package tensor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrShape is returned when operand dimensions are incompatible.
+var ErrShape = errors.New("tensor: shape mismatch")
+
+// Vector is a dense float32 vector.
+type Vector []float32
+
+// Matrix is a dense row-major float32 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32 // len == Rows*Cols
+}
+
+// NewMatrix allocates a zero matrix of the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// At returns the element at (r, c).
+func (m *Matrix) At(r, c int) float32 { return m.Data[r*m.Cols+c] }
+
+// Set assigns the element at (r, c).
+func (m *Matrix) Set(r, c int, v float32) { m.Data[r*m.Cols+c] = v }
+
+// Row returns a view (not a copy) of row r.
+func (m *Matrix) Row(r int) Vector { return Vector(m.Data[r*m.Cols : (r+1)*m.Cols]) }
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// SizeBytes returns the parameter footprint of the matrix in bytes
+// (4 bytes per float32 element).
+func (m *Matrix) SizeBytes() int64 { return int64(len(m.Data)) * 4 }
+
+// MatVec computes dst = m * x for an m of shape (Rows x Cols) and x of
+// length Cols. dst must have length Rows. It returns ErrShape on mismatch.
+func MatVec(dst Vector, m *Matrix, x Vector) error {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		return fmt.Errorf("%w: matvec (%dx%d)*(%d)->(%d)", ErrShape, m.Rows, m.Cols, len(x), len(dst))
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		var acc float32
+		for c, w := range row {
+			acc += w * x[c]
+		}
+		dst[r] = acc
+	}
+	return nil
+}
+
+// MatVecBias computes dst = m*x + b. b must have length m.Rows.
+func MatVecBias(dst Vector, m *Matrix, x, b Vector) error {
+	if len(b) != m.Rows {
+		return fmt.Errorf("%w: bias length %d for %d rows", ErrShape, len(b), m.Rows)
+	}
+	if err := MatVec(dst, m, x); err != nil {
+		return err
+	}
+	for i := range dst {
+		dst[i] += b[i]
+	}
+	return nil
+}
+
+// Dot returns the inner product of a and b, which must share a length.
+func Dot(a, b Vector) (float32, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("%w: dot %d vs %d", ErrShape, len(a), len(b))
+	}
+	var acc float32
+	for i := range a {
+		acc += a[i] * b[i]
+	}
+	return acc, nil
+}
+
+// Add accumulates src into dst element-wise. Lengths must match.
+func Add(dst, src Vector) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("%w: add %d vs %d", ErrShape, len(dst), len(src))
+	}
+	for i := range src {
+		dst[i] += src[i]
+	}
+	return nil
+}
+
+// Scale multiplies every element of v by s in place.
+func Scale(v Vector, s float32) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// ReLU applies max(0, x) element-wise in place.
+func ReLU(v Vector) {
+	for i, x := range v {
+		if x < 0 {
+			v[i] = 0
+		}
+	}
+}
+
+// Sigmoid applies the logistic function element-wise in place.
+func Sigmoid(v Vector) {
+	for i, x := range v {
+		v[i] = float32(1.0 / (1.0 + math.Exp(-float64(x))))
+	}
+}
+
+// Zero clears v in place.
+func Zero(v Vector) {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Clone returns a copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v Vector) float64 {
+	var acc float64
+	for _, x := range v {
+		acc += float64(x) * float64(x)
+	}
+	return math.Sqrt(acc)
+}
+
+// AlmostEqual reports whether a and b are element-wise equal within eps.
+func AlmostEqual(a, b Vector, eps float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(float64(a[i])-float64(b[i])) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// rng is a tiny deterministic splitmix64 generator so model initialisation
+// is reproducible without pulling in math/rand state management. It is
+// unexported; consumers seed it through the Init* helpers.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 in [0,1).
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// InitXavier fills m with deterministic pseudo-random weights drawn from a
+// uniform distribution scaled by sqrt(6/(fanIn+fanOut)) — the standard
+// Glorot/Xavier initialisation — using seed for reproducibility.
+func InitXavier(m *Matrix, seed uint64) {
+	r := rng{state: seed}
+	limit := math.Sqrt(6.0 / float64(m.Rows+m.Cols))
+	for i := range m.Data {
+		m.Data[i] = float32((r.float64()*2 - 1) * limit)
+	}
+}
+
+// InitUniform fills v with deterministic pseudo-random values in
+// [-limit, limit) using seed.
+func InitUniform(v Vector, limit float64, seed uint64) {
+	r := rng{state: seed}
+	for i := range v {
+		v[i] = float32((r.float64()*2 - 1) * limit)
+	}
+}

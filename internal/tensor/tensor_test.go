@@ -1,0 +1,246 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMatrixShape(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("unexpected geometry: %+v", m)
+	}
+}
+
+func TestMatrixAtSetRow(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 5)
+	if got := m.At(1, 2); got != 5 {
+		t.Fatalf("At(1,2)=%v, want 5", got)
+	}
+	row := m.Row(1)
+	if len(row) != 3 || row[2] != 5 {
+		t.Fatalf("Row(1)=%v", row)
+	}
+	// Row is a view: mutating it mutates the matrix.
+	row[0] = 7
+	if m.At(1, 0) != 7 {
+		t.Fatal("Row should alias matrix storage")
+	}
+}
+
+func TestMatrixClone(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone must not share storage")
+	}
+}
+
+func TestMatVecHandChecked(t *testing.T) {
+	m := NewMatrix(2, 3)
+	copy(m.Data, []float32{1, 2, 3, 4, 5, 6})
+	x := Vector{1, 0, -1}
+	dst := make(Vector, 2)
+	if err := MatVec(dst, m, x); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != -2 || dst[1] != -2 {
+		t.Fatalf("MatVec = %v, want [-2 -2]", dst)
+	}
+}
+
+func TestMatVecShapeErrors(t *testing.T) {
+	m := NewMatrix(2, 3)
+	if err := MatVec(make(Vector, 2), m, make(Vector, 2)); err == nil {
+		t.Fatal("want shape error for bad x")
+	}
+	if err := MatVec(make(Vector, 3), m, make(Vector, 3)); err == nil {
+		t.Fatal("want shape error for bad dst")
+	}
+}
+
+func TestMatVecBias(t *testing.T) {
+	m := NewMatrix(2, 2)
+	copy(m.Data, []float32{1, 0, 0, 1})
+	dst := make(Vector, 2)
+	if err := MatVecBias(dst, m, Vector{3, 4}, Vector{10, 20}); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 13 || dst[1] != 24 {
+		t.Fatalf("MatVecBias = %v", dst)
+	}
+	if err := MatVecBias(dst, m, Vector{3, 4}, Vector{10}); err == nil {
+		t.Fatal("want bias shape error")
+	}
+}
+
+func TestDot(t *testing.T) {
+	got, err := Dot(Vector{1, 2, 3}, Vector{4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+	if _, err := Dot(Vector{1}, Vector{1, 2}); err == nil {
+		t.Fatal("want length error")
+	}
+}
+
+func TestAddScaleZero(t *testing.T) {
+	v := Vector{1, 2}
+	if err := Add(v, Vector{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 4 || v[1] != 6 {
+		t.Fatalf("Add = %v", v)
+	}
+	Scale(v, 0.5)
+	if v[0] != 2 || v[1] != 3 {
+		t.Fatalf("Scale = %v", v)
+	}
+	Zero(v)
+	if v[0] != 0 || v[1] != 0 {
+		t.Fatalf("Zero = %v", v)
+	}
+	if err := Add(v, Vector{1}); err == nil {
+		t.Fatal("want length error")
+	}
+}
+
+func TestReLU(t *testing.T) {
+	v := Vector{-1, 0, 2}
+	ReLU(v)
+	if v[0] != 0 || v[1] != 0 || v[2] != 2 {
+		t.Fatalf("ReLU = %v", v)
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	v := Vector{0}
+	Sigmoid(v)
+	if math.Abs(float64(v[0])-0.5) > 1e-6 {
+		t.Fatalf("Sigmoid(0) = %v, want 0.5", v[0])
+	}
+	v = Vector{100, -100}
+	Sigmoid(v)
+	if v[0] < 0.999 || v[1] > 0.001 {
+		t.Fatalf("Sigmoid saturation = %v", v)
+	}
+}
+
+func TestVectorCloneIndependent(t *testing.T) {
+	v := Vector{1, 2}
+	c := v.Clone()
+	c[0] = 9
+	if v[0] != 1 {
+		t.Fatal("Clone must copy")
+	}
+}
+
+func TestNorm2(t *testing.T) {
+	if got := Norm2(Vector{3, 4}); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("Norm2 = %v, want 5", got)
+	}
+}
+
+func TestAlmostEqual(t *testing.T) {
+	if !AlmostEqual(Vector{1, 2}, Vector{1.0000001, 2}, 1e-3) {
+		t.Fatal("want equal within eps")
+	}
+	if AlmostEqual(Vector{1}, Vector{1, 2}, 1) {
+		t.Fatal("length mismatch must be unequal")
+	}
+	if AlmostEqual(Vector{1}, Vector{2}, 0.5) {
+		t.Fatal("difference beyond eps must be unequal")
+	}
+}
+
+func TestInitXavierDeterministicAndBounded(t *testing.T) {
+	a := NewMatrix(8, 8)
+	b := NewMatrix(8, 8)
+	InitXavier(a, 42)
+	InitXavier(b, 42)
+	limit := math.Sqrt(6.0 / 16)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("same seed must reproduce weights")
+		}
+		if math.Abs(float64(a.Data[i])) > limit {
+			t.Fatalf("weight %v exceeds Xavier limit %v", a.Data[i], limit)
+		}
+	}
+	c := NewMatrix(8, 8)
+	InitXavier(c, 43)
+	same := true
+	for i := range a.Data {
+		if a.Data[i] != c.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestInitUniformBounded(t *testing.T) {
+	v := make(Vector, 100)
+	InitUniform(v, 0.05, 7)
+	for _, x := range v {
+		if math.Abs(float64(x)) > 0.05 {
+			t.Fatalf("value %v outside limit", x)
+		}
+	}
+}
+
+// Property: MatVec is linear — M(ax + by) == a*Mx + b*My.
+func TestMatVecLinearityProperty(t *testing.T) {
+	f := func(seed uint64, a8, b8 int8) bool {
+		m := NewMatrix(4, 5)
+		InitXavier(m, seed)
+		x := make(Vector, 5)
+		y := make(Vector, 5)
+		InitUniform(x, 1, seed^1)
+		InitUniform(y, 1, seed^2)
+		a, b := float32(a8)/16, float32(b8)/16
+		comb := make(Vector, 5)
+		for i := range comb {
+			comb[i] = a*x[i] + b*y[i]
+		}
+		var mx, my, mc Vector = make(Vector, 4), make(Vector, 4), make(Vector, 4)
+		if MatVec(mx, m, x) != nil || MatVec(my, m, y) != nil || MatVec(mc, m, comb) != nil {
+			return false
+		}
+		for i := range mc {
+			want := a*mx[i] + b*my[i]
+			if math.Abs(float64(mc[i]-want)) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Dot is symmetric.
+func TestDotSymmetryProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		x := make(Vector, 16)
+		y := make(Vector, 16)
+		InitUniform(x, 2, seed)
+		InitUniform(y, 2, seed^0xff)
+		xy, _ := Dot(x, y)
+		yx, _ := Dot(y, x)
+		return xy == yx
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

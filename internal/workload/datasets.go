@@ -1,0 +1,106 @@
+package workload
+
+import "fmt"
+
+// DatasetShape describes the access-distribution geometry of one of the
+// real-world datasets the paper plots in Fig. 6. Rows is the number of
+// distinct embedding vectors (sorted-vector-ID axis), LocalityP the share
+// of accesses covered by the hottest 10% of rows, and Exponent the
+// intra-segment power-law decay.
+type DatasetShape struct {
+	Name      string
+	Rows      int64
+	LocalityP float64
+	Exponent  float64
+}
+
+// The three Fig. 6 datasets. Row counts follow the paper's axes (~2M for
+// Amazon Books and Criteo, ~50K for MovieLens); MovieLens' P=94% is quoted
+// directly in Sec. V-C, the others are set to the paper's default P=90%.
+var (
+	AmazonBooks = DatasetShape{Name: "amazon-books", Rows: 2_000_000, LocalityP: 0.90, Exponent: 1.05}
+	Criteo      = DatasetShape{Name: "criteo", Rows: 2_000_000, LocalityP: 0.90, Exponent: 0.95}
+	MovieLens   = DatasetShape{Name: "movielens", Rows: 50_000, LocalityP: 0.94, Exponent: 1.10}
+)
+
+// Datasets lists the Fig. 6 presets in paper order.
+func Datasets() []DatasetShape { return []DatasetShape{AmazonBooks, Criteo, MovieLens} }
+
+// Sampler builds the power-law sampler realising the dataset's shape.
+func (d DatasetShape) Sampler() (*PowerLawSampler, error) {
+	s, err := NewPowerLawSampler(d.Rows, d.LocalityP, d.Exponent)
+	if err != nil {
+		return nil, fmt.Errorf("workload: dataset %s: %w", d.Name, err)
+	}
+	return s, nil
+}
+
+// AccessFrequencies simulates draws accesses from the dataset's sampler
+// (scaled down to sampleRows rows when sampleRows > 0, preserving shape)
+// and returns the sorted per-row access frequencies normalised to
+// percentages — the exact series Fig. 6 plots on a log axis.
+func (d DatasetShape) AccessFrequencies(draws int64, sampleRows int64, seed uint64) ([]float64, error) {
+	rows := d.Rows
+	if sampleRows > 0 && sampleRows < rows {
+		rows = sampleRows
+	}
+	s, err := NewPowerLawSampler(rows, d.LocalityP, d.Exponent)
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]int64, rows)
+	r := NewRNG(seed)
+	for i := int64(0); i < draws; i++ {
+		counts[s.SampleRank(r)]++
+	}
+	// Ranks are already hotness-ordered in expectation, but finite sampling
+	// jitters the order; sort descending for the plot.
+	sortDescInt64(counts)
+	out := make([]float64, rows)
+	for i, c := range counts {
+		out[i] = 100 * float64(c) / float64(draws)
+	}
+	return out, nil
+}
+
+func sortDescInt64(v []int64) {
+	// Simple bottom-up merge sort to avoid importing sort for a hot loop;
+	// clarity over micro-optimisation: delegate to sort.Slice equivalent.
+	quickSortDesc(v, 0, len(v)-1)
+}
+
+func quickSortDesc(v []int64, lo, hi int) {
+	for lo < hi {
+		if hi-lo < 12 { // insertion sort for small ranges
+			for i := lo + 1; i <= hi; i++ {
+				for j := i; j > lo && v[j] > v[j-1]; j-- {
+					v[j], v[j-1] = v[j-1], v[j]
+				}
+			}
+			return
+		}
+		mid := v[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for v[i] > mid {
+				i++
+			}
+			for v[j] < mid {
+				j--
+			}
+			if i <= j {
+				v[i], v[j] = v[j], v[i]
+				i++
+				j--
+			}
+		}
+		// Recurse into the smaller half, loop on the larger.
+		if j-lo < hi-i {
+			quickSortDesc(v, lo, j)
+			lo = i
+		} else {
+			quickSortDesc(v, i, hi)
+			hi = j
+		}
+	}
+}

@@ -1,0 +1,335 @@
+// Package workload generates the query traffic the paper serves: power-law
+// embedding-table access patterns calibrated to the locality metric P
+// (the fraction of accesses covered by the hottest 10% of rows, Sec. V-C),
+// batched index/offset queries, dataset-shaped presets for Fig. 6, and the
+// dynamic traffic staircase of Fig. 19.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/embedding"
+)
+
+// RNG is a deterministic splitmix64 pseudo-random generator. The workload
+// package uses it everywhere so experiments are reproducible run-to-run.
+type RNG struct{ state uint64 }
+
+// NewRNG creates a generator from a seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next raw 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 { return float64(r.Uint64()>>11) / float64(1<<53) }
+
+// Intn returns a uniform value in [0, n). It panics when n <= 0.
+func (r *RNG) Intn(n int64) int64 {
+	if n <= 0 {
+		panic("workload: Intn with non-positive bound")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// ExpFloat64 returns an exponentially distributed value with mean 1, used
+// for Poisson inter-arrival times.
+func (r *RNG) ExpFloat64() float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(u)
+}
+
+// Sampler produces table row *ranks*: rank 0 is the hottest row. Callers
+// that model an unsorted production table (Fig. 8a) compose a Sampler with
+// an IDMapping that scatters ranks across physical row IDs.
+type Sampler interface {
+	// SampleRank draws one rank in [0, Rows()).
+	SampleRank(r *RNG) int64
+	// Rows returns the table size the sampler targets.
+	Rows() int64
+}
+
+// PowerLawSampler draws ranks from a two-segment truncated power law:
+// with probability P the rank falls in the hot segment (the top 10% of
+// rows) and otherwise in the cold segment; within each segment ranks decay
+// as (rank+1)^-s. This directly realises the paper's locality metric while
+// keeping the Fig. 6 power-law shape, and admits O(1)-memory closed-form
+// inverse-transform sampling even for 20M-row tables.
+type PowerLawSampler struct {
+	rows     int64
+	hotRows  int64
+	p        float64 // probability of hitting the hot segment
+	exponent float64
+}
+
+// HotFraction is the rank fraction the paper's locality metric is defined
+// over: P is the share of accesses landing in the top 10% of rows.
+const HotFraction = 0.10
+
+// NewPowerLawSampler builds a sampler over rows rows with locality p
+// (0 < p <= 1) and intra-segment Zipf exponent s (s >= 0; 0.9 gives
+// realistic curves). It returns an error for degenerate geometries.
+func NewPowerLawSampler(rows int64, p, s float64) (*PowerLawSampler, error) {
+	if rows <= 0 {
+		return nil, fmt.Errorf("workload: sampler needs rows > 0, got %d", rows)
+	}
+	if p <= 0 || p > 1 {
+		return nil, fmt.Errorf("workload: locality P must be in (0,1], got %v", p)
+	}
+	if s < 0 {
+		return nil, fmt.Errorf("workload: exponent must be >= 0, got %v", s)
+	}
+	hot := int64(float64(rows) * HotFraction)
+	if hot < 1 {
+		hot = 1
+	}
+	if hot >= rows {
+		hot = rows - 1
+		if hot < 1 { // single-row table: everything is hot
+			hot = rows
+		}
+	}
+	return &PowerLawSampler{rows: rows, hotRows: hot, p: p, exponent: s}, nil
+}
+
+// Rows implements Sampler.
+func (z *PowerLawSampler) Rows() int64 { return z.rows }
+
+// LocalityP returns the configured locality target.
+func (z *PowerLawSampler) LocalityP() float64 { return z.p }
+
+// SampleRank implements Sampler.
+func (z *PowerLawSampler) SampleRank(r *RNG) int64 {
+	if z.rows == 1 {
+		return 0
+	}
+	if r.Float64() < z.p {
+		return sampleTruncZipf(r, 0, z.hotRows, z.exponent)
+	}
+	return sampleTruncZipf(r, z.hotRows, z.rows, z.exponent)
+}
+
+// sampleTruncZipf draws a rank in [lo, hi) with pmf proportional to
+// (rank-lo+1)^-s via the continuous-approximation inverse transform. For
+// s == 0 it degenerates to uniform.
+func sampleTruncZipf(r *RNG, lo, hi int64, s float64) int64 {
+	n := float64(hi - lo)
+	if n <= 1 {
+		return lo
+	}
+	u := r.Float64()
+	var x float64
+	switch {
+	case s == 0:
+		x = u * n
+	case math.Abs(s-1) < 1e-9:
+		// CDF(x) = ln(1+x)/ln(1+n)
+		x = math.Expm1(u * math.Log1p(n))
+	default:
+		// CDF(x) = ((1+x)^(1-s) - 1) / ((1+n)^(1-s) - 1)
+		a := 1 - s
+		x = math.Pow(u*(math.Pow(1+n, a)-1)+1, 1/a) - 1
+	}
+	rank := lo + int64(x)
+	if rank >= hi {
+		rank = hi - 1
+	}
+	if rank < lo {
+		rank = lo
+	}
+	return rank
+}
+
+// segmentCDF returns the fraction of intra-segment probability mass covered
+// by the first x of n ranks under exponent s (continuous approximation).
+func segmentCDF(x, n, s float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= n {
+		return 1
+	}
+	switch {
+	case s == 0:
+		return x / n
+	case math.Abs(s-1) < 1e-9:
+		return math.Log1p(x) / math.Log1p(n)
+	default:
+		a := 1 - s
+		return (math.Pow(1+x, a) - 1) / (math.Pow(1+n, a) - 1)
+	}
+}
+
+// AnalyticCDF is the closed-form cumulative access distribution of a
+// PowerLawSampler over the hotness-sorted table. It satisfies the same
+// shape contract as embedding.CDF (At / RangeProbability / Rows) without
+// materialising per-row arrays, which lets Algorithm 1 run at the paper's
+// 20M-row scale in O(1) memory.
+type AnalyticCDF struct {
+	rows    int64
+	hotRows int64
+	p       float64
+	s       float64
+}
+
+// Analytic returns the closed-form CDF matching the sampler's distribution.
+func (z *PowerLawSampler) Analytic() *AnalyticCDF {
+	return &AnalyticCDF{rows: z.rows, hotRows: z.hotRows, p: z.p, s: z.exponent}
+}
+
+// Rows returns the number of table rows covered.
+func (c *AnalyticCDF) Rows() int64 { return c.rows }
+
+// At returns the fraction of accesses covered by sorted rows [0, j).
+func (c *AnalyticCDF) At(j int64) float64 {
+	if j <= 0 {
+		return 0
+	}
+	if j >= c.rows {
+		return 1
+	}
+	if c.hotRows >= c.rows {
+		return segmentCDF(float64(j), float64(c.rows), c.s)
+	}
+	if j <= c.hotRows {
+		return c.p * segmentCDF(float64(j), float64(c.hotRows), c.s)
+	}
+	cold := segmentCDF(float64(j-c.hotRows), float64(c.rows-c.hotRows), c.s)
+	return c.p + (1-c.p)*cold
+}
+
+// RangeProbability returns the fraction of accesses in sorted rows [k, j).
+func (c *AnalyticCDF) RangeProbability(k, j int64) float64 {
+	p := c.At(j) - c.At(k)
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// IDMapping maps hotness ranks to physical row IDs. The identity mapping
+// models an already-sorted table (Fig. 8b); a shuffled mapping models the
+// production layout where hot rows are scattered (Fig. 8a).
+type IDMapping interface {
+	// RowOf returns the physical row ID of the given hotness rank.
+	RowOf(rank int64) int64
+	// Rows returns the table size.
+	Rows() int64
+}
+
+// IdentityMapping maps rank i to row i.
+type IdentityMapping int64
+
+// RowOf implements IDMapping.
+func (m IdentityMapping) RowOf(rank int64) int64 { return rank }
+
+// Rows implements IDMapping.
+func (m IdentityMapping) Rows() int64 { return int64(m) }
+
+// ShuffledMapping is a deterministic pseudo-random permutation of ranks to
+// rows built with a Fisher-Yates shuffle.
+type ShuffledMapping struct {
+	rowOf []int64 // rowOf[rank] = physical row
+}
+
+// NewShuffledMapping builds a permutation of [0, rows) from the seed.
+func NewShuffledMapping(rows int64, seed uint64) *ShuffledMapping {
+	perm := make([]int64, rows)
+	for i := range perm {
+		perm[i] = int64(i)
+	}
+	r := NewRNG(seed)
+	for i := rows - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return &ShuffledMapping{rowOf: perm}
+}
+
+// RowOf implements IDMapping.
+func (m *ShuffledMapping) RowOf(rank int64) int64 { return m.rowOf[rank] }
+
+// Rows implements IDMapping.
+func (m *ShuffledMapping) Rows() int64 { return int64(len(m.rowOf)) }
+
+// RankOf returns the inverse mapping (physical row -> hotness rank). It is
+// O(rows) and intended for test assertions, not hot paths.
+func (m *ShuffledMapping) RankOf(row int64) int64 {
+	for rank, r := range m.rowOf {
+		if r == row {
+			return int64(rank)
+		}
+	}
+	return -1
+}
+
+// QueryGenerator produces embedding.Batch lookups for one table: BatchSize
+// inputs per query, each gathering Pooling rows drawn from the sampler and
+// translated through the ID mapping.
+type QueryGenerator struct {
+	Sampler   Sampler
+	Mapping   IDMapping
+	BatchSize int
+	Pooling   int
+	rng       *RNG
+}
+
+// NewQueryGenerator wires a generator; mapping may be nil for the identity
+// mapping (sorted-table layout).
+func NewQueryGenerator(s Sampler, mapping IDMapping, batchSize, pooling int, seed uint64) (*QueryGenerator, error) {
+	if batchSize <= 0 || pooling <= 0 {
+		return nil, fmt.Errorf("workload: batchSize and pooling must be positive (got %d, %d)", batchSize, pooling)
+	}
+	if mapping == nil {
+		mapping = IdentityMapping(s.Rows())
+	}
+	if mapping.Rows() != s.Rows() {
+		return nil, fmt.Errorf("workload: mapping rows %d != sampler rows %d", mapping.Rows(), s.Rows())
+	}
+	return &QueryGenerator{Sampler: s, Mapping: mapping, BatchSize: batchSize, Pooling: pooling, rng: NewRNG(seed)}, nil
+}
+
+// Next generates the next batch.
+func (g *QueryGenerator) Next() *embedding.Batch {
+	total := g.BatchSize * g.Pooling
+	b := &embedding.Batch{
+		Indices: make([]int64, 0, total),
+		Offsets: make([]int32, g.BatchSize),
+	}
+	for i := 0; i < g.BatchSize; i++ {
+		b.Offsets[i] = int32(len(b.Indices))
+		for k := 0; k < g.Pooling; k++ {
+			rank := g.Sampler.SampleRank(g.rng)
+			b.Indices = append(b.Indices, g.Mapping.RowOf(rank))
+		}
+	}
+	return b
+}
+
+// NextRanks generates a batch expressed directly in hotness ranks,
+// bypassing the ID mapping. Used when driving sorted (post-preprocessing)
+// tables and the utility experiments.
+func (g *QueryGenerator) NextRanks() *embedding.Batch {
+	total := g.BatchSize * g.Pooling
+	b := &embedding.Batch{
+		Indices: make([]int64, 0, total),
+		Offsets: make([]int32, g.BatchSize),
+	}
+	for i := 0; i < g.BatchSize; i++ {
+		b.Offsets[i] = int32(len(b.Indices))
+		for k := 0; k < g.Pooling; k++ {
+			b.Indices = append(b.Indices, g.Sampler.SampleRank(g.rng))
+		}
+	}
+	return b
+}

@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	s, err := NewPowerLawSampler(1000, 0.9, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := SynthesizeTrace(s, NewShuffledMapping(1000, 3), 50_000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, stats); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Total != stats.Total {
+		t.Fatalf("total %d != %d", back.Total, stats.Total)
+	}
+	for i := range stats.Counts {
+		if back.Counts[i] != stats.Counts[i] {
+			t.Fatalf("row %d: %d != %d", i, back.Counts[i], stats.Counts[i])
+		}
+	}
+	// Locality survives the round trip.
+	if back.LocalityP() != stats.LocalityP() {
+		t.Fatal("locality changed through trace IO")
+	}
+}
+
+func TestReadTraceValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		csv  string
+	}{
+		{"bad header", "a,b\n1,2\n"},
+		{"bad row", "row,count\nx,2\n"},
+		{"bad count", "row,count\n1,y\n"},
+		{"row out of range", "row,count\n100,2\n"},
+		{"negative count", "row,count\n1,-2\n"},
+		{"wrong fields", "row,count\n1\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadTrace(strings.NewReader(c.csv), 10); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+	if _, err := ReadTrace(strings.NewReader(""), 10); err == nil {
+		t.Error("empty input: want header error")
+	}
+}
+
+func TestReadTraceAccumulatesDuplicates(t *testing.T) {
+	in := "row,count\n3,5\n3,7\n"
+	stats, err := ReadTrace(strings.NewReader(in), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Counts[3] != 12 || stats.Total != 12 {
+		t.Fatalf("counts=%v total=%d", stats.Counts, stats.Total)
+	}
+}
+
+func TestWriteTraceSkipsZeroRows(t *testing.T) {
+	s, _ := NewPowerLawSampler(100, 0.9, 0.9)
+	stats, err := SynthesizeTrace(s, nil, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, stats); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(buf.String(), "\n")
+	// Header + at most 10 non-zero rows.
+	if lines > 11 {
+		t.Fatalf("trace has %d lines for 10 draws", lines)
+	}
+}
+
+func TestSynthesizeTraceValidation(t *testing.T) {
+	s, _ := NewPowerLawSampler(100, 0.9, 0.9)
+	if _, err := SynthesizeTrace(s, IdentityMapping(50), 10, 1); err == nil {
+		t.Fatal("want mapping mismatch error")
+	}
+}
+
+func TestSynthesizeTraceLocality(t *testing.T) {
+	s, _ := NewPowerLawSampler(10_000, 0.9, 0.9)
+	stats, err := SynthesizeTrace(s, nil, 200_000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := stats.LocalityP(); p < 0.87 || p > 0.95 {
+		t.Fatalf("locality %v, want ~0.9", p)
+	}
+}
