@@ -1,0 +1,40 @@
+# CI runs exactly these targets; run them locally before pushing.
+
+GO ?= go
+
+.PHONY: build test test-short race bench bench-smoke fmt fmt-check vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# Race-check the concurrency-heavy packages: the dynamic batcher and the
+# lock-free dense hot path live in serving; cluster and workload drive
+# goroutine-based control loops and traffic generators.
+race:
+	$(GO) test -race -short ./internal/serving/... ./internal/cluster/... ./internal/workload/...
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem .
+
+# One iteration of the micro-kernel and concurrent-serving benches — a CI
+# smoke test that the harness still runs, with output kept as an artifact.
+bench-smoke:
+	$(GO) test -run='^$$' -bench='Kernel|ConcurrentPredict' -benchtime=1x .
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+ci: fmt-check vet build test-short race bench-smoke

@@ -13,7 +13,10 @@
 package repro_test
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/bucketize"
 	"repro/internal/core"
@@ -468,6 +471,124 @@ func BenchmarkServing_EndToEndPredict(b *testing.B) {
 	}
 }
 
+// --- Closed-loop concurrent serving benchmarks ---
+
+// concurrentPredictFixture builds a small live deployment plus a pool of
+// workload-driven requests for closed-loop load generation.
+func concurrentPredictFixture(b *testing.B, batching *serving.BatcherOptions) (*serving.LiveDeployment, []*serving.PredictRequest) {
+	b.Helper()
+	cfg := model.RM1().WithRows(50_000).WithName("rm1-concurrent-bench")
+	cfg.NumTables = 4
+	m, err := model.New(cfg, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := workload.NewPowerLawSampler(cfg.RowsPerTable, cfg.LocalityP, 0.9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := workload.NewQueryGenerator(s, nil, cfg.BatchSize, cfg.Pooling, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	perTable := make([][]*embedding.Batch, cfg.NumTables)
+	for t := range perTable {
+		for q := 0; q < 20; q++ {
+			perTable[t] = append(perTable[t], gen.Next())
+		}
+	}
+	stats, err := serving.CollectStats(cfg, perTable)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ld, err := serving.BuildElastic(m, stats, []int64{5_000, 20_000, cfg.RowsPerTable},
+		serving.BuildOptions{Batching: batching})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := workload.NewRNG(77)
+	reqs := make([]*serving.PredictRequest, 32)
+	for i := range reqs {
+		req := &serving.PredictRequest{
+			BatchSize: cfg.BatchSize,
+			DenseDim:  cfg.DenseInputDim,
+			Dense:     make([]float32, cfg.BatchSize*cfg.DenseInputDim),
+		}
+		for j := range req.Dense {
+			req.Dense[j] = float32(rng.Float64()*2 - 1)
+		}
+		for t := 0; t < cfg.NumTables; t++ {
+			batch := gen.Next()
+			req.Tables = append(req.Tables, serving.TableBatch{Indices: batch.Indices, Offsets: batch.Offsets})
+		}
+		reqs[i] = req
+	}
+	return ld, reqs
+}
+
+// runClosedLoopPredict drives b.N requests through the client from the
+// given number of closed-loop in-flight clients and reports sustained QPS.
+func runClosedLoopPredict(b *testing.B, client serving.PredictClient, reqs []*serving.PredictRequest, clients int) {
+	b.Helper()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(b.N) {
+					return
+				}
+				req := reqs[(int(i)+c)%len(reqs)]
+				var reply serving.PredictReply
+				if err := client.Predict(req, &reply); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "qps")
+}
+
+// BenchmarkServing_ConcurrentPredict is the closed-loop multi-client
+// throughput benchmark: the same deployment is driven by 1 and by 8
+// in-flight clients, without and with the dynamic batcher. With the dense
+// hot path de-serialized (per-call scratch from the model pool) and fused
+// request batches amortizing the gather fan-out, the 8-client rows scale
+// with GOMAXPROCS instead of flatlining at the 1-client rate. Compare the
+// qps metric across rows, e.g.:
+//
+//	go test -run='^$' -bench=ConcurrentPredict -benchtime=200x
+func BenchmarkServing_ConcurrentPredict(b *testing.B) {
+	plain, plainReqs := concurrentPredictFixture(b, nil)
+	defer plain.Close()
+	batched, batchedReqs := concurrentPredictFixture(b,
+		&serving.BatcherOptions{MaxBatch: 4 * model.RM1().BatchSize, MaxDelay: 200 * time.Microsecond})
+	defer batched.Close()
+	for _, sub := range []struct {
+		name    string
+		client  serving.PredictClient
+		reqs    []*serving.PredictRequest
+		clients int
+	}{
+		{"unbatched/clients=1", plain, plainReqs, 1},
+		{"unbatched/clients=8", plain, plainReqs, 8},
+		{"batched/clients=1", batched, batchedReqs, 1},
+		{"batched/clients=8", batched, batchedReqs, 8},
+	} {
+		b.Run(sub.name, func(b *testing.B) {
+			runClosedLoopPredict(b, sub.client, sub.reqs, sub.clients)
+		})
+	}
+}
+
 // BenchmarkAblation_PartitionScheme compares ElasticRec's row-wise DP
 // against table-wise and column-wise partitioning under the same cost
 // model (related-work discussion), reporting expected per-table GB.
@@ -537,11 +658,11 @@ func BenchmarkServing_StressTestShard(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	n := int64(0)
+	var n atomic.Int64 // newReq is called from concurrent ramp workers
 	newReq := func() *serving.GatherRequest {
-		n++
+		v := n.Add(1)
 		return &serving.GatherRequest{
-			Indices: []int64{n % 100_000, (n * 31) % 100_000, (n * 77) % 100_000},
+			Indices: []int64{v % 100_000, (v * 31) % 100_000, (v * 77) % 100_000},
 			Offsets: []int32{0},
 		}
 	}

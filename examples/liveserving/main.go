@@ -55,6 +55,7 @@ func main() {
 	boundaries := []int64{2_000, 8_000, cfg.RowsPerTable}
 	ld, err := serving.BuildElastic(m, stats, boundaries, serving.BuildOptions{
 		Transport: serving.TransportTCP,
+		Batching:  &serving.BatcherOptions{MaxBatch: 3 * cfg.BatchSize, MaxDelay: 500 * time.Microsecond},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -62,6 +63,19 @@ func main() {
 	defer ld.Close()
 	fmt.Printf("deployed %d embedding shards x %d tables over TCP microservices\n",
 		len(boundaries), cfg.NumTables)
+
+	// Export the batched predict frontend itself over net/rpc and drive
+	// all traffic through the wire, like a real client would.
+	addr, err := ld.ExportPredict("Frontend")
+	if err != nil {
+		log.Fatal(err)
+	}
+	frontend, err := serving.DialPredict(addr, "Frontend")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer frontend.Close()
+	fmt.Printf("predict frontend (dynamic batching) exported at %s\n", addr)
 
 	// Live autoscaler: every shard scales on the offered QPS, with the
 	// hotter shards given lower per-replica QPSmax thresholds.
@@ -123,19 +137,21 @@ func main() {
 		mu.Unlock()
 		wg.Add(1)
 		served++
+		// Build the request on the arrival loop (the generator is not
+		// concurrency-safe), then issue it from its own client goroutine.
+		req := &serving.PredictRequest{
+			BatchSize: cfg.BatchSize,
+			DenseDim:  cfg.DenseInputDim,
+			Dense:     make([]float32, cfg.BatchSize*cfg.DenseInputDim),
+		}
+		for t := 0; t < cfg.NumTables; t++ {
+			b := gen.Next()
+			req.Tables = append(req.Tables, serving.TableBatch{Indices: b.Indices, Offsets: b.Offsets})
+		}
 		go func() {
 			defer wg.Done()
-			req := &serving.PredictRequest{
-				BatchSize: cfg.BatchSize,
-				DenseDim:  cfg.DenseInputDim,
-				Dense:     make([]float32, cfg.BatchSize*cfg.DenseInputDim),
-			}
-			for t := 0; t < cfg.NumTables; t++ {
-				b := gen.Next()
-				req.Tables = append(req.Tables, serving.TableBatch{Indices: b.Indices, Offsets: b.Offsets})
-			}
 			var reply serving.PredictReply
-			if err := ld.Predict(req, &reply); err != nil {
+			if err := frontend.Predict(req, &reply); err != nil {
 				log.Printf("predict: %v", err)
 			}
 		}()
@@ -146,6 +162,10 @@ func main() {
 	fmt.Printf("dense shard: P50=%v P95=%v\n",
 		ld.Dense.Latency.Quantile(0.50).Round(time.Microsecond),
 		ld.Dense.Latency.Quantile(0.95).Round(time.Microsecond))
+	fmt.Printf("batcher: %d requests fused into %d batches (mean batch %.1f inputs)\n",
+		ld.Batcher.Requests.Value(), ld.Batcher.Batches.Value(), ld.Batcher.BatchSizes.Mean())
+	fmt.Printf("batcher batch-size histogram: %s\n", ld.Batcher.BatchSizes)
+	fmt.Printf("batcher queue-depth histogram: %s\n", ld.Batcher.QueueDepth)
 	for s := 0; s < len(boundaries); s++ {
 		fmt.Printf("table0 shard %d: replicas=%d utility=%.1f%% P95=%v\n",
 			s+1, ld.Pools[0][s].Size(), 100*ld.ShardUtility(0, s),

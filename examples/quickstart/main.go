@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"sync"
+	"time"
 
 	"repro/internal/deploy"
 	"repro/internal/embedding"
@@ -83,8 +85,12 @@ func main() {
 			i+1, e.Lo, e.Hi, e.NS, e.QPS, e.Replicas)
 	}
 
-	// Build the live microservice deployment and a monolithic baseline.
-	ld, err := serving.BuildElastic(m, stats, plan.Boundaries, serving.BuildOptions{})
+	// Build the live microservice deployment — fronted by the dynamic
+	// batcher, which coalesces concurrent Predict calls into fused dense
+	// forward batches — and a monolithic baseline.
+	ld, err := serving.BuildElastic(m, stats, plan.Boundaries, serving.BuildOptions{
+		Batching: &serving.BatcherOptions{},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -131,4 +137,46 @@ func main() {
 	for s := 0; s < plan.NumShards(); s++ {
 		fmt.Printf("shard %d memory utility: %.1f%%\n", s+1, 100*ld.ShardUtility(0, s))
 	}
+
+	// A concurrent burst: 8 closed-loop clients hammer the frontend and
+	// the batcher fuses their overlapping requests into shared forward
+	// batches (the serving layer's dense hot path has no global lock).
+	const clients, perClient = 8, 25
+	burst := make([]*serving.PredictRequest, clients)
+	for c := range burst {
+		req := &serving.PredictRequest{
+			BatchSize: cfg.BatchSize,
+			DenseDim:  cfg.DenseInputDim,
+			Dense:     make([]float32, cfg.BatchSize*cfg.DenseInputDim),
+		}
+		for t := 0; t < cfg.NumTables; t++ {
+			b := gen.Next()
+			req.Tables = append(req.Tables, serving.TableBatch{Indices: b.Indices, Offsets: b.Offsets})
+		}
+		burst[c] = req
+	}
+	before := ld.Batcher.Batches.Value()
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for q := 0; q < perClient; q++ {
+				var reply serving.PredictReply
+				if err := ld.Predict(burst[c], &reply); err != nil {
+					log.Printf("burst predict: %v", err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	fused := ld.Batcher.Batches.Value() - before
+	burstMean := float64(clients*perClient*cfg.BatchSize) / float64(fused)
+	fmt.Printf("burst: %d clients x %d queries in %v — %d requests fused into %d batches (mean %.1f inputs)\n",
+		clients, perClient, elapsed.Round(time.Millisecond),
+		clients*perClient, fused, burstMean)
+	fmt.Printf("batch-size histogram: %s\n", ld.Batcher.BatchSizes)
 }

@@ -68,6 +68,9 @@ func TestTableRendering(t *testing.T) {
 }
 
 func TestAllStaticFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment: regenerates every static figure (~12s)")
+	}
 	figs := map[string]func() (*Table, error){
 		"fig3":   Figure3,
 		"fig5":   Figure5,
@@ -124,6 +127,9 @@ func TestTablesIandII(t *testing.T) {
 }
 
 func TestMeasureUtilityShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment: live utility measurement (~1s)")
+	}
 	rows, err := MeasureUtility(perfmodel.CPUOnly, model.RM1(), 7)
 	if err != nil {
 		t.Fatal(err)
@@ -206,6 +212,9 @@ func TestFigure19Table(t *testing.T) {
 }
 
 func TestFigure14And17(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment: live utility experiments (~6s)")
+	}
 	for _, fn := range []func() (*Table, error){Figure14, Figure17} {
 		tab, err := fn()
 		if err != nil {
@@ -253,6 +262,9 @@ func TestRunDynamicTrafficCPUGPU(t *testing.T) {
 }
 
 func TestSchemesTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment: partition-scheme sweep (~1s)")
+	}
 	tab, err := SchemesTable()
 	if err != nil {
 		t.Fatal(err)

@@ -99,6 +99,9 @@ func TestPlanElasticStructure(t *testing.T) {
 }
 
 func TestElasticBeatsModelWiseMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment: paper-scale DP planning (~3s)")
+	}
 	for _, plat := range []perfmodel.Platform{perfmodel.CPUOnly, perfmodel.CPUGPU} {
 		pl := planner(t, plat)
 		target := 100.0
@@ -136,6 +139,9 @@ func TestElasticBeatsModelWiseMemory(t *testing.T) {
 }
 
 func TestPaperShardCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment: paper-scale DP planning (~1s)")
+	}
 	// Paper (CPU-only): RM1/RM2/RM3 partition into 4/3/3 shards. Our
 	// calibration lands close; require the DP to pick a small multi-shard
 	// count, not 1 and not the S_max ceiling.

@@ -26,6 +26,9 @@ func heteroCDFs(t *testing.T, cfg model.Config) []partition.CDF {
 }
 
 func TestPlanElasticPerTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment: per-table paper-scale planning (~4s)")
+	}
 	pl := planner(t, perfmodel.CPUOnly)
 	cfg := model.RM1()
 	cdfs := heteroCDFs(t, cfg)
@@ -64,6 +67,9 @@ func TestPlanElasticPerTable(t *testing.T) {
 }
 
 func TestPlanElasticPerTableValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment: per-table paper-scale planning (~1s)")
+	}
 	pl := planner(t, perfmodel.CPUOnly)
 	cfg := model.RM1()
 	if _, err := pl.PlanElasticPerTable(cfg, 100, nil); err == nil {

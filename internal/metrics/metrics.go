@@ -219,6 +219,104 @@ func (l *LatencyRecorder) Reset() {
 	l.mu.Unlock()
 }
 
+// Histogram counts observations into fixed buckets — the shape the serving
+// batcher exports for queue depth and fused-batch size so the autoscaler
+// and stress tester can see how the dynamic-batching pipeline behaves.
+// Bucket i counts observations v with v <= Bounds[i]; one extra overflow
+// bucket counts everything above the last bound.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64
+	sum    float64
+	n      int64
+}
+
+// NewHistogram creates a histogram over the given ascending bucket upper
+// bounds (e.g. 1, 2, 4, 8, ...). An empty bounds slice yields a single
+// overflow bucket that still tracks count and mean.
+func NewHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.n++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Mean returns the mean observed value (0 when empty).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// HistogramBucket is one row of a histogram snapshot.
+type HistogramBucket struct {
+	UpperBound float64 // +Inf for the overflow bucket
+	Count      int64
+}
+
+// Snapshot returns the per-bucket counts (last bucket's bound is +Inf).
+func (h *Histogram) Snapshot() []HistogramBucket {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]HistogramBucket, len(h.counts))
+	for i := range h.counts {
+		ub := math.Inf(1)
+		if i < len(h.bounds) {
+			ub = h.bounds[i]
+		}
+		out[i] = HistogramBucket{UpperBound: ub, Count: h.counts[i]}
+	}
+	return out
+}
+
+// String renders the non-empty buckets compactly, e.g. "≤1:12 ≤4:3 >8:1".
+func (h *Histogram) String() string {
+	snap := h.Snapshot()
+	s := ""
+	for i, b := range snap {
+		if b.Count == 0 {
+			continue
+		}
+		if s != "" {
+			s += " "
+		}
+		if math.IsInf(b.UpperBound, 1) {
+			if i > 0 {
+				s += fmt.Sprintf(">%g:%d", snap[i-1].UpperBound, b.Count)
+			} else {
+				s += fmt.Sprintf("all:%d", b.Count)
+			}
+		} else {
+			s += fmt.Sprintf("≤%g:%d", b.UpperBound, b.Count)
+		}
+	}
+	if s == "" {
+		return "empty"
+	}
+	return s
+}
+
 // UtilityTracker measures memory utility for one embedding shard: the
 // fraction of the shard's rows touched at least once while servicing
 // queries (Sec. VI-B measures this over the first 1,000 queries).

@@ -204,3 +204,49 @@ func TestFormatBytes(t *testing.T) {
 		}
 	}
 }
+
+func TestHistogramBucketsAndStats(t *testing.T) {
+	h := NewHistogram([]float64{1, 4, 8})
+	for _, v := range []float64{0, 1, 2, 4, 5, 9, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	wantMean := (0.0 + 1 + 2 + 4 + 5 + 9 + 100) / 7
+	if got := h.Mean(); got != wantMean {
+		t.Fatalf("mean = %v, want %v", got, wantMean)
+	}
+	snap := h.Snapshot()
+	// Buckets: <=1: {0,1}=2; <=4: {2,4}=2; <=8: {5}=1; overflow: {9,100}=2.
+	wantCounts := []int64{2, 2, 1, 2}
+	for i, w := range wantCounts {
+		if snap[i].Count != w {
+			t.Fatalf("bucket %d count = %d, want %d (snap %+v)", i, snap[i].Count, w, snap)
+		}
+	}
+	if s := h.String(); s == "" || s == "empty" {
+		t.Fatalf("String() = %q", s)
+	}
+	if s := NewHistogram(nil).String(); s != "empty" {
+		t.Fatalf("empty String() = %q", s)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram([]float64{10})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				h.Observe(float64(i % 20))
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 800 {
+		t.Fatalf("count = %d, want 800", h.Count())
+	}
+}

@@ -59,6 +59,32 @@ type MLP struct {
 	buf0, buf1 tensor.Vector
 }
 
+// Scratch holds the ping-pong buffers one forward pass needs. Acquiring a
+// private Scratch per goroutine (see model's scratch pool) lets many
+// goroutines run ForwardScratch over the same read-only parameters
+// concurrently — the mechanism behind the serving layer's batched,
+// lock-free dense hot path.
+type Scratch struct {
+	buf0, buf1 tensor.Vector
+}
+
+// NewScratch allocates a scratch sized for this MLP's widest layer.
+func (m *MLP) NewScratch() *Scratch {
+	maxW := 0
+	for _, l := range m.Layers {
+		if l.In() > maxW {
+			maxW = l.In()
+		}
+		if l.Out() > maxW {
+			maxW = l.Out()
+		}
+	}
+	return &Scratch{
+		buf0: make(tensor.Vector, maxW),
+		buf1: make(tensor.Vector, maxW),
+	}
+}
+
 // New builds an MLP from the width sequence dims, e.g. [13 256 128 32]
 // creates 13->256->128->32. seed makes initialisation deterministic.
 func New(dims []int, seed uint64) (*MLP, error) {
@@ -94,18 +120,29 @@ func (m *MLP) Out() int { return m.Layers[len(m.Layers)-1].Out() }
 // Out()). ReLU is applied after every layer except the last.
 //
 // Forward reuses internal scratch buffers, so an MLP value must not be
-// shared across goroutines without cloning (each serving replica clones
-// its model, as each pod holds its own parameter copy).
+// shared across goroutines without cloning. For concurrent forward passes
+// over shared parameters use ForwardScratch with a per-goroutine Scratch.
 func (m *MLP) Forward(dst, x tensor.Vector) error {
+	return m.forward(m.buf0, m.buf1, dst, x)
+}
+
+// ForwardScratch is Forward with caller-provided scratch: the parameters
+// are only read, so any number of goroutines may call it concurrently as
+// long as each brings its own Scratch (from NewScratch).
+func (m *MLP) ForwardScratch(s *Scratch, dst, x tensor.Vector) error {
+	return m.forward(s.buf0, s.buf1, dst, x)
+}
+
+func (m *MLP) forward(buf0, buf1, dst, x tensor.Vector) error {
 	if len(x) != m.In() {
 		return fmt.Errorf("mlp: input length %d != %d", len(x), m.In())
 	}
 	if len(dst) != m.Out() {
 		return fmt.Errorf("mlp: output length %d != %d", len(dst), m.Out())
 	}
-	cur := m.buf0[:len(x)]
+	cur := buf0[:len(x)]
 	copy(cur, x)
-	next := m.buf1
+	next := buf1
 	for i, l := range m.Layers {
 		out := next[:l.Out()]
 		if i == len(m.Layers)-1 {

@@ -2,6 +2,7 @@ package model
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/embedding"
 	"repro/internal/mlp"
@@ -9,20 +10,65 @@ import (
 )
 
 // Model is an instantiated DLRM: parameters in memory, ready to run forward
-// passes. A Model is not safe for concurrent use (it owns scratch buffers);
-// each serving replica clones its own copy, mirroring how each pod loads a
-// private copy of the parameters.
+// passes. Parameters are read-only during serving and every forward pass
+// draws its scratch buffers from an internal pool, so Forward, ForwardPooled
+// and ForwardBatch are safe to call from many goroutines concurrently —
+// this is what lets a dense shard service fused request batches without a
+// global lock.
 type Model struct {
 	Config Config
 	Bottom *mlp.MLP
 	Top    *mlp.MLP
 	Tables []*embedding.Table
 
-	// scratch
+	// scratch is a pool of *Scratch sized for this config; forward passes
+	// acquire one per call so concurrent passes never share buffers.
+	scratch sync.Pool
+}
+
+// Scratch holds every intermediate buffer one forward pass needs: the
+// bottom-MLP output, the interaction vector, the logit, per-table pooled
+// embeddings, and the MLP ping-pong buffers. A Scratch belongs to exactly
+// one in-flight forward pass at a time.
+type Scratch struct {
 	bottomOut   tensor.Vector
 	interaction tensor.Vector
 	logit       tensor.Vector
-	pooledBuf   []tensor.Vector
+	pooled      []tensor.Vector
+	vecs        []tensor.Vector
+	bottom      *mlp.Scratch
+	top         *mlp.Scratch
+}
+
+// NewScratch allocates a scratch set sized for the model's geometry.
+func (m *Model) NewScratch() *Scratch {
+	cfg := m.Config
+	s := &Scratch{
+		bottomOut:   make(tensor.Vector, cfg.EmbeddingDim),
+		interaction: make(tensor.Vector, cfg.InteractionDim()),
+		logit:       make(tensor.Vector, 1),
+		pooled:      make([]tensor.Vector, cfg.NumTables),
+		vecs:        make([]tensor.Vector, 0, cfg.NumTables+1),
+		bottom:      m.Bottom.NewScratch(),
+		top:         m.Top.NewScratch(),
+	}
+	for i := range s.pooled {
+		s.pooled[i] = make(tensor.Vector, cfg.EmbeddingDim)
+	}
+	return s
+}
+
+// AcquireScratch takes a scratch set from the model's pool (allocating one
+// when the pool is empty). Callers running many forward passes back to back
+// (the dense shard's batched hot path) acquire once, reuse it across the
+// batch, and release when done.
+func (m *Model) AcquireScratch() *Scratch {
+	return m.scratch.Get().(*Scratch)
+}
+
+// ReleaseScratch returns a scratch set to the pool.
+func (m *Model) ReleaseScratch(s *Scratch) {
+	m.scratch.Put(s)
 }
 
 // New instantiates the model with deterministic parameters. For the paper's
@@ -76,14 +122,7 @@ func NewDenseOnly(cfg Config, seed uint64) (*Model, error) {
 }
 
 func (m *Model) initScratch() {
-	cfg := m.Config
-	m.bottomOut = make(tensor.Vector, cfg.EmbeddingDim)
-	m.interaction = make(tensor.Vector, cfg.InteractionDim())
-	m.logit = make(tensor.Vector, 1)
-	m.pooledBuf = make([]tensor.Vector, cfg.NumTables)
-	for i := range m.pooledBuf {
-		m.pooledBuf[i] = make(tensor.Vector, cfg.EmbeddingDim)
-	}
+	m.scratch.New = func() any { return m.NewScratch() }
 }
 
 // Clone deep-copies the model (a new replica's private parameter copy).
@@ -100,6 +139,12 @@ func (m *Model) Clone() *Model {
 // of every unordered pair among {bottom, pooled[0], ..., pooled[n-1]},
 // concatenated with bottom itself. dst must have length InteractionDim().
 func (m *Model) Interact(dst, bottom tensor.Vector, pooled []tensor.Vector) error {
+	return m.interact(dst, bottom, pooled, nil)
+}
+
+// interact is Interact with a reusable operand slice (scratch.vecs) so the
+// hot path does not allocate per input.
+func (m *Model) interact(dst, bottom tensor.Vector, pooled []tensor.Vector, scratchVecs []tensor.Vector) error {
 	cfg := m.Config
 	if len(pooled) != cfg.NumTables {
 		return fmt.Errorf("model %s: %d pooled vectors, want %d", cfg.Name, len(pooled), cfg.NumTables)
@@ -107,7 +152,11 @@ func (m *Model) Interact(dst, bottom tensor.Vector, pooled []tensor.Vector) erro
 	if len(dst) != cfg.InteractionDim() {
 		return fmt.Errorf("model %s: interaction dst %d, want %d", cfg.Name, len(dst), cfg.InteractionDim())
 	}
-	vecs := make([]tensor.Vector, 0, cfg.NumTables+1)
+	vecs := scratchVecs
+	if cap(vecs) < cfg.NumTables+1 {
+		vecs = make([]tensor.Vector, 0, cfg.NumTables+1)
+	}
+	vecs = vecs[:0]
 	vecs = append(vecs, bottom)
 	vecs = append(vecs, pooled...)
 	k := 0
@@ -128,35 +177,51 @@ func (m *Model) Interact(dst, bottom tensor.Vector, pooled []tensor.Vector) erro
 // ForwardPooled runs the dense part of the model for a single input, given
 // the already-pooled embedding vectors — exactly the work the dense DNN
 // shard performs after the sparse shards reply (Sec. IV-A "life of an
-// inference query"). It returns the click probability.
+// inference query"). It returns the click probability. Safe for concurrent
+// use; callers in a hot loop should prefer ForwardPooledScratch with a
+// scratch acquired once per batch.
 func (m *Model) ForwardPooled(dense tensor.Vector, pooled []tensor.Vector) (float32, error) {
-	if err := m.Bottom.Forward(m.bottomOut, dense); err != nil {
+	s := m.AcquireScratch()
+	defer m.ReleaseScratch(s)
+	return m.ForwardPooledScratch(s, dense, pooled)
+}
+
+// ForwardPooledScratch is ForwardPooled with caller-provided scratch: the
+// parameters are only read, so any number of goroutines may run it
+// concurrently as long as each brings its own Scratch.
+func (m *Model) ForwardPooledScratch(s *Scratch, dense tensor.Vector, pooled []tensor.Vector) (float32, error) {
+	if err := m.Bottom.ForwardScratch(s.bottom, s.bottomOut, dense); err != nil {
 		return 0, err
 	}
-	if err := m.Interact(m.interaction, m.bottomOut, pooled); err != nil {
+	if err := m.interact(s.interaction, s.bottomOut, pooled, s.vecs); err != nil {
 		return 0, err
 	}
-	if err := m.Top.Forward(m.logit, m.interaction); err != nil {
+	if err := m.Top.ForwardScratch(s.top, s.logit, s.interaction); err != nil {
 		return 0, err
 	}
-	p := m.logit.Clone()
-	tensor.Sigmoid(p)
-	return p[0], nil
+	tensor.Sigmoid(s.logit)
+	return s.logit[0], nil
 }
 
 // Forward runs the full monolithic model for a single input: sparseIdx[t]
 // holds the lookup indices into table t. This is the baseline model-wise
-// execution path.
+// execution path. Safe for concurrent use.
 func (m *Model) Forward(dense tensor.Vector, sparseIdx [][]int64) (float32, error) {
+	s := m.AcquireScratch()
+	defer m.ReleaseScratch(s)
+	return m.forwardScratch(s, dense, sparseIdx)
+}
+
+func (m *Model) forwardScratch(s *Scratch, dense tensor.Vector, sparseIdx [][]int64) (float32, error) {
 	if len(sparseIdx) != m.Config.NumTables {
 		return 0, fmt.Errorf("model %s: %d sparse inputs, want %d", m.Config.Name, len(sparseIdx), m.Config.NumTables)
 	}
 	for t, tab := range m.Tables {
-		if err := tab.GatherPool(m.pooledBuf[t], sparseIdx[t]); err != nil {
+		if err := tab.GatherPool(s.pooled[t], sparseIdx[t]); err != nil {
 			return 0, err
 		}
 	}
-	return m.ForwardPooled(dense, m.pooledBuf)
+	return m.ForwardPooledScratch(s, dense, s.pooled)
 }
 
 // ForwardBatch runs the monolithic model for a whole query: denseIn is
@@ -175,11 +240,13 @@ func (m *Model) ForwardBatch(denseIn *tensor.Matrix, batches []*embedding.Batch)
 	}
 	out := make([]float32, bs)
 	idx := make([][]int64, cfg.NumTables)
+	s := m.AcquireScratch()
+	defer m.ReleaseScratch(s)
 	for i := 0; i < bs; i++ {
 		for t, b := range batches {
 			idx[t] = b.InputIndices(i)
 		}
-		p, err := m.Forward(denseIn.Row(i), idx)
+		p, err := m.forwardScratch(s, denseIn.Row(i), idx)
 		if err != nil {
 			return nil, err
 		}

@@ -1,7 +1,9 @@
 package model
 
 import (
+	"fmt"
 	"math"
+	"sync"
 	"testing"
 
 	"repro/internal/embedding"
@@ -353,5 +355,88 @@ func TestInteractHandChecked(t *testing.T) {
 	}
 	if dst[1] != 1 || dst[2] != 2 {
 		t.Fatalf("bottom copy = %v", dst[1:])
+	}
+}
+
+// TestConcurrentForwardDeterminism: forward passes draw scratch from the
+// model's pool, so concurrent callers over shared parameters must produce
+// exactly the results a lone caller gets. Run with -race in CI.
+func TestConcurrentForwardDeterminism(t *testing.T) {
+	cfg := tiny()
+	m, err := New(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const inputs = 16
+	dense := make([]tensor.Vector, inputs)
+	sparse := make([][][]int64, inputs)
+	want := make([]float32, inputs)
+	for i := range dense {
+		dense[i] = make(tensor.Vector, cfg.DenseInputDim)
+		tensor.InitUniform(dense[i], 1, uint64(i+1))
+		sparse[i] = make([][]int64, cfg.NumTables)
+		for tb := range sparse[i] {
+			sparse[i][tb] = []int64{int64(i) % cfg.RowsPerTable, int64(i+tb) % cfg.RowsPerTable}
+		}
+		p, err := m.Forward(dense[i], sparse[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = p
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				i := rep % inputs
+				p, err := m.Forward(dense[i], sparse[i])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if p != want[i] {
+					errs <- fmt.Errorf("input %d: concurrent %v != serial %v", i, p, want[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestScratchReuse: an explicitly acquired scratch survives reuse across a
+// batch of forward passes (the dense shard's hot-loop pattern).
+func TestScratchReuse(t *testing.T) {
+	cfg := tiny()
+	m, err := New(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.AcquireScratch()
+	defer m.ReleaseScratch(s)
+	dense := make(tensor.Vector, cfg.DenseInputDim)
+	pooled := make([]tensor.Vector, cfg.NumTables)
+	for i := range pooled {
+		pooled[i] = make(tensor.Vector, cfg.EmbeddingDim)
+	}
+	first, err := m.ForwardPooledScratch(s, dense, pooled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		p, err := m.ForwardPooledScratch(s, dense, pooled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != first {
+			t.Fatalf("iteration %d: %v != %v — scratch reuse corrupts state", i, p, first)
+		}
 	}
 }

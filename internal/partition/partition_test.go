@@ -443,6 +443,9 @@ func TestDPBeatsAlternatives(t *testing.T) {
 // chosen count, after which per-container overhead causes diminishing or
 // negative returns.
 func TestForcedShardSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment: forced-shard DP sweep (~4s)")
+	}
 	cm := buildRM1CostModel(t, 200_000)
 	pt := &Partitioner{MaxShards: 16}
 	opt, err := pt.Partition(200_000, cm.CostFunc())

@@ -2,7 +2,6 @@ package serving
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
 	"repro/internal/bucketize"
@@ -22,8 +21,7 @@ type DenseShard struct {
 	boundaries [][]int64        // per table: plan boundaries in sorted space
 	clients    [][]GatherClient // per table, per shard
 
-	mu    sync.Mutex // guards the model's scratch buffers
-	dense *model.Model
+	dense *model.Model // parameters read-only; scratch comes from its pool
 
 	Latency *metrics.LatencyRecorder
 	QPS     *metrics.QPSMeter
@@ -61,6 +59,10 @@ func NewDenseShard(denseModel *model.Model, boundaries [][]int64, clients [][]Ga
 		QPS:        metrics.NewQPSMeter(10 * time.Second),
 	}, nil
 }
+
+// Config returns the model geometry the shard serves (used by the batcher
+// frontend to validate requests before they join a fused batch).
+func (d *DenseShard) Config() model.Config { return d.cfg }
 
 // gatherResult carries one shard's reply through the fan-out.
 type gatherResult struct {
@@ -136,9 +138,11 @@ func (d *DenseShard) Predict(req *PredictRequest, reply *PredictReply) error {
 		}
 	}
 
-	// Dense forward passes (scratch buffers are per-model; serialize).
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	// Dense forward passes. Scratch is acquired from the model's pool once
+	// per request, so overlapping Predict calls run concurrently — the
+	// mutex that used to serialize the dense hot path is gone.
+	scratch := d.dense.AcquireScratch()
+	defer d.dense.ReleaseScratch(scratch)
 	probs := make([]float32, bs)
 	rowPooled := make([]tensor.Vector, d.cfg.NumTables)
 	for i := 0; i < bs; i++ {
@@ -146,7 +150,7 @@ func (d *DenseShard) Predict(req *PredictRequest, reply *PredictReply) error {
 		for t := range rowPooled {
 			rowPooled[t] = pooled[t].Row(i)
 		}
-		p, err := d.dense.ForwardPooled(denseRow, rowPooled)
+		p, err := d.dense.ForwardPooledScratch(scratch, denseRow, rowPooled)
 		if err != nil {
 			return fmt.Errorf("serving: forward input %d: %w", i, err)
 		}
@@ -161,9 +165,9 @@ func (d *DenseShard) Predict(req *PredictRequest, reply *PredictReply) error {
 var _ PredictClient = (*DenseShard)(nil)
 
 // Monolith is the model-wise baseline service: the full model in one
-// process, queried with original-ID batches.
+// process, queried with original-ID batches. Forward passes draw scratch
+// from the model's pool, so concurrent Predict calls are safe.
 type Monolith struct {
-	mu    sync.Mutex
 	model *model.Model
 
 	Latency *metrics.LatencyRecorder
@@ -195,9 +199,7 @@ func (m *Monolith) Predict(req *PredictRequest, reply *PredictReply) error {
 	for t := range batches {
 		batches[t] = &embedding.Batch{Indices: req.Tables[t].Indices, Offsets: req.Tables[t].Offsets}
 	}
-	m.mu.Lock()
 	probs, err := m.model.ForwardBatch(dense, batches)
-	m.mu.Unlock()
 	if err != nil {
 		return err
 	}

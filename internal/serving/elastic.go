@@ -28,6 +28,11 @@ type BuildOptions struct {
 	// table's pool (nil = one replica each). Replicas share the sorted
 	// table storage in-process; they model independent serving replicas.
 	Replicas []int
+	// Batching, when non-nil, fronts the dense shard with a dynamic
+	// batcher: concurrent Predict calls are coalesced into fused forward
+	// batches (see BatcherOptions). A zero-valued options struct enables
+	// batching with defaults.
+	Batching *BatcherOptions
 }
 
 // LiveDeployment is a fully wired ElasticRec serving instance.
@@ -35,6 +40,10 @@ type LiveDeployment struct {
 	Pre        *Preprocessed
 	Dense      *DenseShard
 	Boundaries []int64
+	// Batcher is the dynamic-batching frontend over Dense (nil unless
+	// BuildOptions.Batching was set). Predict routes through it when
+	// present.
+	Batcher *Batcher
 	// Shards[t][s] is the primary service instance of shard s of table
 	// t (replicas added to the pools share its storage and metrics).
 	Shards [][]*EmbeddingShard
@@ -125,6 +134,9 @@ func BuildElastic(m *model.Model, stats []*embedding.AccessStats, boundaries []i
 		return nil, err
 	}
 	ld.Dense = dense
+	if opts.Batching != nil {
+		ld.Batcher = NewBatcher(dense, dense.Config(), *opts.Batching)
+	}
 	return ld, nil
 }
 
@@ -156,14 +168,42 @@ func (ld *LiveDeployment) exportGather(svc GatherClient, name string, tr Transpo
 
 // Predict services a query whose sparse indices are in the *original*
 // table-ID space: the frontend applies the preprocessing remap and then
-// calls the dense shard (the microservice entry point).
+// calls the dense shard (the microservice entry point), going through the
+// dynamic batcher when one is configured. The remap happens before
+// enqueue, so a request with out-of-range indices is rejected without ever
+// joining a fused batch.
 func (ld *LiveDeployment) Predict(req *PredictRequest, reply *PredictReply) error {
 	remapped, err := ld.Pre.RemapRequest(req)
 	if err != nil {
 		return err
 	}
+	if ld.Batcher != nil {
+		return ld.Batcher.Predict(remapped, reply)
+	}
 	return ld.Dense.Predict(remapped, reply)
 }
+
+// ExportPredict exposes the deployment's predict frontend (batcher-routed
+// when batching is on) as a net/rpc service under name on loopback TCP,
+// returning the address to dial with DialPredict. The server is torn down
+// by Close.
+func (ld *LiveDeployment) ExportPredict(name string) (string, error) {
+	srv, err := NewRPCServer("127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	if err := srv.RegisterPredict(name, predictFunc(ld.Predict)); err != nil {
+		srv.Close()
+		return "", err
+	}
+	ld.servers = append(ld.servers, srv)
+	return srv.Addr(), nil
+}
+
+// predictFunc adapts a function to PredictClient.
+type predictFunc func(*PredictRequest, *PredictReply) error
+
+func (f predictFunc) Predict(req *PredictRequest, reply *PredictReply) error { return f(req, reply) }
 
 var _ PredictClient = (*LiveDeployment)(nil)
 
@@ -173,8 +213,14 @@ func (ld *LiveDeployment) ShardUtility(t, s int) float64 {
 	return ld.Shards[t][s].Utility.Utility()
 }
 
-// Close tears down any RPC servers and client connections.
+// Close flushes the batcher (if any) and tears down any RPC servers and
+// client connections.
 func (ld *LiveDeployment) Close() {
+	if ld.Batcher != nil {
+		// Close is idempotent; keep the field set so a straggling
+		// Predict gets "batcher is closed" instead of racing on nil.
+		_ = ld.Batcher.Close()
+	}
 	for _, c := range ld.closers {
 		_ = c.Close()
 	}

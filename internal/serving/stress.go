@@ -64,6 +64,28 @@ func StressTest(client GatherClient, newReq func() *GatherRequest, opts StressOp
 	if client == nil || newReq == nil {
 		return nil, fmt.Errorf("serving: stress test needs a client and a request generator")
 	}
+	return stressRamp(func() error {
+		var reply GatherReply
+		return client.Gather(newReq(), &reply)
+	}, opts)
+}
+
+// StressPredict runs the same QPSmax ramp against a predict frontend —
+// the dense shard or its dynamic batcher — so the knee of the end-to-end
+// predict pipeline (gather fan-out + fused dense forward) can be measured
+// the same way sparse shards are.
+func StressPredict(client PredictClient, newReq func() *PredictRequest, opts StressOptions) (*StressResult, error) {
+	if client == nil || newReq == nil {
+		return nil, fmt.Errorf("serving: stress test needs a client and a request generator")
+	}
+	return stressRamp(func() error {
+		var reply PredictReply
+		return client.Predict(newReq(), &reply)
+	}, opts)
+}
+
+// stressRamp is the shared closed-loop ramp: call issues one request.
+func stressRamp(call func() error, opts StressOptions) (*StressResult, error) {
 	opts.defaults()
 	result := &StressResult{}
 	var baselineP95 time.Duration
@@ -83,10 +105,8 @@ func StressTest(client GatherClient, newReq func() *GatherRequest, opts StressOp
 			go func() {
 				defer wg.Done()
 				for r := 0; r < perWorker; r++ {
-					req := newReq()
-					var reply GatherReply
 					t0 := time.Now()
-					if err := client.Gather(req, &reply); err != nil {
+					if err := call(); err != nil {
 						mu.Lock()
 						if firstErr == nil {
 							firstErr = err

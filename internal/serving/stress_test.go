@@ -2,6 +2,7 @@ package serving
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -75,10 +76,10 @@ func TestStressTestOnRealShard(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	n := int64(0)
+	var n atomic.Int64 // newReq is called from concurrent ramp workers
 	newReq := func() *GatherRequest {
-		n++
-		return &GatherRequest{Indices: []int64{n % 10_000, (n * 7) % 10_000}, Offsets: []int32{0}}
+		v := n.Add(1)
+		return &GatherRequest{Indices: []int64{v % 10_000, (v * 7) % 10_000}, Offsets: []int32{0}}
 	}
 	res, err := StressTest(shard, newReq, StressOptions{
 		MaxConcurrency:   8,
