@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short race bench bench-smoke fmt fmt-check vet ci
+.PHONY: build test test-short race race-repartition bench bench-smoke bench-json fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -22,10 +22,24 @@ race:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
 
+# The zero-downtime plan-swap acceptance test under the race detector:
+# 8 concurrent clients, 10 swaps, both transports.
+race-repartition:
+	$(GO) test -race -run 'Repartition|Straggler|Cancels' -count=1 ./internal/serving/
+
 # One iteration of the micro-kernel and concurrent-serving benches — a CI
 # smoke test that the harness still runs, with output kept as an artifact.
 bench-smoke:
 	$(GO) test -run='^$$' -bench='Kernel|ConcurrentPredict' -benchtime=1x .
+
+# Machine-readable serving-bench artifact: name, ns/op, allocs/op and the
+# closed-loop qps metric per bench row, for run-over-run trajectory diffs.
+# Two steps (not a pipe) so a bench crash fails the target instead of
+# being masked by benchjson's exit status.
+bench-json:
+	$(GO) test -run='^$$' -bench='Serving' -benchmem -benchtime=20x . > bench-serving.txt
+	$(GO) run ./cmd/benchjson < bench-serving.txt > BENCH_serving.json
+	@echo "wrote BENCH_serving.json"
 
 fmt:
 	gofmt -w .
@@ -37,4 +51,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet build test-short race bench-smoke
+ci: fmt-check vet build test-short race race-repartition bench-smoke

@@ -13,6 +13,7 @@
 package repro_test
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -465,7 +466,7 @@ func BenchmarkServing_EndToEndPredict(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var reply serving.PredictReply
-		if err := ld.Predict(req, &reply); err != nil {
+		if err := ld.Predict(context.Background(), req, &reply); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -545,7 +546,7 @@ func runClosedLoopPredict(b *testing.B, client serving.PredictClient, reqs []*se
 				}
 				req := reqs[(int(i)+c)%len(reqs)]
 				var reply serving.PredictReply
-				if err := client.Predict(req, &reply); err != nil {
+				if err := client.Predict(context.Background(), req, &reply); err != nil {
 					b.Error(err)
 					return
 				}
@@ -610,6 +611,55 @@ func BenchmarkAblation_PartitionScheme(b *testing.B) {
 	b.ReportMetric(colGB, "column-wise4-GB")
 }
 
+// BenchmarkServing_RepartitionSwap measures the off-hot-path cost of one
+// zero-downtime plan swap: re-preprocess from fresh statistics, build the
+// next epoch's shard services side-by-side, publish, drain and retire the
+// old epoch. Predict-path cost of a swap is zero by construction (the hot
+// path reads one atomic pointer); this bench tracks the control-plane
+// cost.
+func BenchmarkServing_RepartitionSwap(b *testing.B) {
+	cfg := model.RM1().WithRows(20_000).WithName("rm1-swap-bench")
+	cfg.NumTables = 2
+	m, err := model.New(cfg, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := workload.NewPowerLawSampler(cfg.RowsPerTable, cfg.LocalityP, 0.9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := workload.NewQueryGenerator(s, nil, cfg.BatchSize, cfg.Pooling, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	perTable := make([][]*embedding.Batch, cfg.NumTables)
+	for t := range perTable {
+		for q := 0; q < 20; q++ {
+			perTable[t] = append(perTable[t], gen.Next())
+		}
+	}
+	stats, err := serving.CollectStats(cfg, perTable)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ld, err := serving.BuildElastic(m, stats, []int64{2_000, 8_000, cfg.RowsPerTable}, serving.BuildOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ld.Close()
+	plans := [][]int64{
+		{1_500, 6_000, cfg.RowsPerTable},
+		{2_000, 8_000, cfg.RowsPerTable},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ld.Repartition(context.Background(), stats, plans[i%2]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkServing_MonolithPredict measures the model-wise baseline's
 // end-to-end predict path for comparison with the sharded path above.
 func BenchmarkServing_MonolithPredict(b *testing.B) {
@@ -641,7 +691,7 @@ func BenchmarkServing_MonolithPredict(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var reply serving.PredictReply
-		if err := mono.Predict(req, &reply); err != nil {
+		if err := mono.Predict(context.Background(), req, &reply); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,114 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON array on stdout, so CI can archive the serving
+// bench trajectory as an artifact (BENCH_serving.json) and diff it
+// run-over-run instead of eyeballing text logs.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=Serving -benchmem . | benchjson > BENCH_serving.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// BenchResult is one benchmark line, flattened.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// QPS carries the serving benches' custom throughput metric
+	// (b.ReportMetric(..., "qps")), 0 when the bench doesn't report one.
+	QPS float64 `json:"qps,omitempty"`
+	// Extra holds any remaining custom metrics by unit name.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// parseBench extracts benchmark results from go test -bench output.
+func parseBench(r io.Reader) ([]BenchResult, error) {
+	var out []BenchResult
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "Benchmark... [no tests to run]"
+		}
+		res := BenchResult{
+			// Strip the -GOMAXPROCS suffix so names are stable across
+			// machines.
+			Name:       trimProcSuffix(fields[0]),
+			Iterations: iters,
+		}
+		// The remainder is value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			case "qps":
+				res.QPS = v
+			default:
+				if res.Extra == nil {
+					res.Extra = map[string]float64{}
+				}
+				res.Extra[fields[i+1]] = v
+			}
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+// trimProcSuffix drops the trailing -N GOMAXPROCS marker from a bench
+// name (BenchmarkFoo/bar-8 -> BenchmarkFoo/bar).
+func trimProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func main() {
+	results, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if results == nil {
+		results = []BenchResult{}
+	}
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

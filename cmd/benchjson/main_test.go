@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkServing_ConcurrentPredict/unbatched/clients=1-8         	     200	   5119561 ns/op	        39.06 qps	  123456 B/op	    1234 allocs/op
+BenchmarkServing_EndToEndPredict-8   	    1000	    456789 ns/op	   98765 B/op	     321 allocs/op
+BenchmarkFig19_DynamicTraffic-8      	       2	 600000000 ns/op	        31.5 peak-mem-ratio-x
+PASS
+ok  	repro	12.3s
+`
+
+func TestParseBench(t *testing.T) {
+	results, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(results))
+	}
+	r0 := results[0]
+	if r0.Name != "BenchmarkServing_ConcurrentPredict/unbatched/clients=1" {
+		t.Fatalf("name = %q (proc suffix not trimmed?)", r0.Name)
+	}
+	if r0.Iterations != 200 || r0.NsPerOp != 5119561 || r0.QPS != 39.06 {
+		t.Fatalf("r0 = %+v", r0)
+	}
+	if r0.BytesPerOp != 123456 || r0.AllocsPerOp != 1234 {
+		t.Fatalf("r0 mem = %+v", r0)
+	}
+	if results[1].QPS != 0 || results[1].AllocsPerOp != 321 {
+		t.Fatalf("r1 = %+v", results[1])
+	}
+	if results[2].Extra["peak-mem-ratio-x"] != 31.5 {
+		t.Fatalf("r2 extra = %+v", results[2].Extra)
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	results, err := parseBench(strings.NewReader("PASS\nok x 0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("results = %v", results)
+	}
+}
+
+func TestTrimProcSuffix(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkFoo-8":         "BenchmarkFoo",
+		"BenchmarkFoo/bar-16":    "BenchmarkFoo/bar",
+		"BenchmarkFoo/clients=1": "BenchmarkFoo/clients=1",
+		"BenchmarkFoo":           "BenchmarkFoo",
+	} {
+		if got := trimProcSuffix(in); got != want {
+			t.Fatalf("trimProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

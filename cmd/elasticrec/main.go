@@ -7,7 +7,8 @@
 //	elasticrec all
 //
 // Experiments: tables, fig3, fig5, fig6, fig9, fig12a, fig12b, fig12c,
-// fig12d, fig13, fig14, fig15, fig16, fig17, fig18, fig19, fig20.
+// fig12d, fig13, fig14, fig15, fig16, fig17, fig18, fig19, fig20,
+// schemes, stress, repartition.
 package main
 
 import (
@@ -46,6 +47,7 @@ func experiments() []experiment {
 		{"fig20", "Fig. 20: GPU embedding cache baseline", core.Figure20},
 		{"schemes", "Extension: row-wise vs column-/table-wise partitioning", core.SchemesTable},
 		{"stress", "Sec. IV-D: live shard QPSmax stress test", core.StressTable},
+		{"repartition", "Sec. IV-B: closed profiling/repartition/serve loop", core.RepartitionTable},
 	}
 }
 

@@ -1,20 +1,28 @@
-// Liveserving: real microservices on loopback TCP with a live autoscaler.
+// Liveserving: real microservices on loopback TCP with a live autoscaler
+// and autonomous zero-downtime repartitioning.
 //
 // Every embedding shard runs behind its own net/rpc server (the stand-in
 // for the paper's gRPC mesh); a round-robin replica pool plays Linkerd; an
 // HPA-style control loop watches the offered load and scales shard
 // replicas in and out while a Poisson client drives stepped traffic.
+// Mid-run the traffic hotness drifts; the control loop notices the
+// flattened per-shard utility profile (Fig. 14), re-plans from the live
+// profiling window and swaps the partition epoch while requests keep
+// flowing — the closed profiling -> repartition -> serve loop of
+// Sec. IV-B.
 //
 // Run with: go run ./examples/liveserving [-duration 12s]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/embedding"
 	"repro/internal/model"
 	"repro/internal/serving"
@@ -32,12 +40,18 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Profile, then build a 3-shard deployment over loopback TCP.
+	// Profile, then build a 3-shard deployment over loopback TCP. The
+	// sampler is wrapped in a drifting shim so the hot set can migrate
+	// mid-run.
 	sampler, err := workload.NewPowerLawSampler(cfg.RowsPerTable, cfg.LocalityP, 0.9)
 	if err != nil {
 		log.Fatal(err)
 	}
-	gen, err := workload.NewQueryGenerator(sampler, workload.NewShuffledMapping(cfg.RowsPerTable, 3),
+	drift, err := workload.NewDriftingSampler(sampler)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen, err := workload.NewQueryGenerator(drift, workload.NewShuffledMapping(cfg.RowsPerTable, 3),
 		cfg.BatchSize, cfg.Pooling, 5)
 	if err != nil {
 		log.Fatal(err)
@@ -77,43 +91,88 @@ func main() {
 	defer frontend.Close()
 	fmt.Printf("predict frontend (dynamic batching) exported at %s\n", addr)
 
-	// Live autoscaler: every shard scales on the offered QPS, with the
-	// hotter shards given lower per-replica QPSmax thresholds.
+	// Live autoscaler: every shard of the current epoch scales on the
+	// offered QPS, with the hotter shards given lower per-replica QPSmax
+	// thresholds. buildScaled is re-run after every epoch swap so the
+	// control loop always scales the epoch that is actually serving.
 	var mu sync.Mutex
 	currentQPS := 0.0
-	scaled := []*serving.AutoscaledShard{}
-	for t := 0; t < cfg.NumTables; t++ {
-		for s := 0; s < len(boundaries); s++ {
-			t, s := t, s
-			lo := int64(0)
-			if s > 0 {
-				lo = boundaries[s-1]
+	buildScaled := func() []*serving.AutoscaledShard {
+		rt := ld.Table()
+		scaled := []*serving.AutoscaledShard{}
+		for t := 0; t < cfg.NumTables; t++ {
+			for s := 0; s < rt.NumShards(t); s++ {
+				t, s := t, s
+				lo := int64(0)
+				if s > 0 {
+					lo = rt.Boundaries[t][s-1]
+				}
+				hi := rt.Boundaries[t][s]
+				sorted := rt.Pre.Sorted[t]
+				scaled = append(scaled, &serving.AutoscaledShard{
+					Name:   fmt.Sprintf("e%d-t%d-s%d", rt.Epoch, t, s),
+					Pool:   rt.Pools[t][s],
+					QPSMax: 20 * float64(s+1), // hotter shards saturate sooner
+					Spawn: func() (serving.GatherClient, error) {
+						return serving.NewEmbeddingShard(t, s, sorted, lo, hi)
+					},
+					MaxReplicas: 6,
+				})
 			}
-			hi := boundaries[s]
-			scaled = append(scaled, &serving.AutoscaledShard{
-				Name:   fmt.Sprintf("t%d-s%d", t, s),
-				Pool:   ld.Pools[t][s],
-				QPSMax: 20 * float64(s+1), // hotter shards saturate sooner
-				Spawn: func() (serving.GatherClient, error) {
-					return serving.NewEmbeddingShard(t, s, ld.Pre.Sorted[t], lo, hi)
-				},
-				MaxReplicas: 6,
-			})
 		}
+		return scaled
 	}
 	as := &serving.LiveAutoscaler{
-		Shards:   scaled,
+		Shards:   buildScaled(),
 		Interval: 500 * time.Millisecond,
 		OfferedQPS: func(string) float64 {
 			mu.Lock()
 			defer mu.Unlock()
 			return currentQPS
 		},
+		Deployment: ld,
+		RepartitionPolicy: &cluster.RepartitionPolicy{
+			MinSkew: 0.35,
+			// Dense dispatches, not client requests: the batcher fuses
+			// ~3 requests per forward batch at this MaxBatch, so 40
+			// dispatches ≈ 120 client requests of warm-up.
+			MinRequests: 40,
+			MinInterval: *duration, // at most one swap per run
+		},
+		Replan: func(window []*embedding.AccessStats) ([]int64, error) {
+			// Re-plan proportionally to the freshly profiled CDF: cut at
+			// 70% and 95% access coverage, mirroring what the DP chooses
+			// for this geometry without re-fitting the cost model inline.
+			cdf := embedding.NewCDF(window[0])
+			cuts := []int64{}
+			for _, p := range []float64{0.70, 0.95} {
+				var j int64
+				for j = 1; j < cdf.Rows() && cdf.At(j) < p; j++ {
+				}
+				cuts = append(cuts, j)
+			}
+			return append(cuts, cfg.RowsPerTable), nil
+		},
 	}
+	// After a swap, point the replica-scaling loop at the new epoch's
+	// pools (the autoscaler reopens the profiling window itself). The
+	// callback runs on the control-loop goroutine, which is the only
+	// reader of as.Shards.
+	as.OnRepartition = func(retired int64, err error) {
+		if err != nil {
+			log.Printf("repartition failed: %v", err)
+			return
+		}
+		as.Shards = buildScaled()
+		fmt.Printf("-> repartitioned live: retired epoch %d, serving epoch %d with boundaries %v\n",
+			retired, ld.Epoch(), ld.Boundaries())
+	}
+	ld.StartProfile()
 	as.Start()
 	defer as.Stop()
 
-	// Drive stepped Poisson traffic: low -> high -> low.
+	// Drive stepped Poisson traffic: low -> high -> low; the hot set
+	// drifts halfway across the table a third of the way in.
 	pattern, err := workload.NewTrafficPattern([]workload.TrafficPhase{
 		{Start: 0, TargetQPS: 10},
 		{Start: *duration / 3, TargetQPS: 60},
@@ -126,12 +185,18 @@ func main() {
 	start := time.Now()
 	var wg sync.WaitGroup
 	served := 0
+	drifted := false
 	for {
 		at, ok := arrivals.Next()
 		if !ok {
 			break
 		}
 		time.Sleep(time.Until(start.Add(at)))
+		if !drifted && at > *duration/3 {
+			drift.SetShift(int64(cfg.RowsPerTable / 2))
+			drifted = true
+			fmt.Printf("-> hotness drift injected at %v\n", at.Round(time.Millisecond))
+		}
 		mu.Lock()
 		currentQPS = pattern.QPSAt(at)
 		mu.Unlock()
@@ -150,15 +215,18 @@ func main() {
 		}
 		go func() {
 			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
 			var reply serving.PredictReply
-			if err := frontend.Predict(req, &reply); err != nil {
+			if err := frontend.Predict(ctx, req, &reply); err != nil {
 				log.Printf("predict: %v", err)
 			}
 		}()
 	}
 	wg.Wait()
 
-	fmt.Printf("served %d queries over %v\n", served, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("served %d queries over %v (%d epoch swaps)\n",
+		served, time.Since(start).Round(time.Millisecond), ld.Router.Swaps.Value())
 	fmt.Printf("dense shard: P50=%v P95=%v\n",
 		ld.Dense.Latency.Quantile(0.50).Round(time.Microsecond),
 		ld.Dense.Latency.Quantile(0.95).Round(time.Microsecond))
@@ -166,9 +234,15 @@ func main() {
 		ld.Batcher.Requests.Value(), ld.Batcher.Batches.Value(), ld.Batcher.BatchSizes.Mean())
 	fmt.Printf("batcher batch-size histogram: %s\n", ld.Batcher.BatchSizes)
 	fmt.Printf("batcher queue-depth histogram: %s\n", ld.Batcher.QueueDepth)
-	for s := 0; s < len(boundaries); s++ {
-		fmt.Printf("table0 shard %d: replicas=%d utility=%.1f%% P95=%v\n",
-			s+1, ld.Pools[0][s].Size(), 100*ld.ShardUtility(0, s),
-			ld.Shards[0][s].Latency.Quantile(0.95).Round(time.Microsecond))
+	rt := ld.Table()
+	for s := 0; s < rt.NumShards(0); s++ {
+		fmt.Printf("epoch %d table0 shard %d: replicas=%d utility=%.1f%% P95=%v\n",
+			rt.Epoch, s+1, rt.Pools[0][s].Size(), 100*rt.Utility(0, s),
+			rt.Shards[0][s].Latency.Quantile(0.95).Round(time.Microsecond))
+	}
+	for _, label := range ld.EpochUtility.Labels() {
+		if v, ok := ld.EpochUtility.Value(label); ok {
+			fmt.Printf("retired gauge %s = %.1f%%\n", label, 100*v)
+		}
 	}
 }

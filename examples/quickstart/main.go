@@ -6,11 +6,14 @@
 //  3. Preprocess (hotness-sort) the tables, spin the shards up as
 //     in-process microservices, and serve queries through the dense shard.
 //  4. Check the sharded predictions against the monolithic baseline.
+//  5. Drift the traffic hotness, re-profile through the live window, and
+//     swap the partition plan with zero downtime (Repartition).
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -39,12 +42,18 @@ func main() {
 		metrics.FormatBytes(cfg.SparseBytes()), metrics.FormatBytes(cfg.DenseBytes()))
 
 	// Profile table accesses with power-law traffic (locality P = 90%).
+	// The sampler is wrapped in a drifting shim so step 5 can migrate the
+	// hot set mid-run without touching the distribution's shape.
 	sampler, err := workload.NewPowerLawSampler(cfg.RowsPerTable, cfg.LocalityP, 0.9)
 	if err != nil {
 		log.Fatal(err)
 	}
+	drift, err := workload.NewDriftingSampler(sampler)
+	if err != nil {
+		log.Fatal(err)
+	}
 	mapping := workload.NewShuffledMapping(cfg.RowsPerTable, 7)
-	gen, err := workload.NewQueryGenerator(sampler, mapping, cfg.BatchSize, cfg.Pooling, 11)
+	gen, err := workload.NewQueryGenerator(drift, mapping, cfg.BatchSize, cfg.Pooling, 11)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -115,10 +124,10 @@ func main() {
 			req.Tables = append(req.Tables, serving.TableBatch{Indices: b.Indices, Offsets: b.Offsets})
 		}
 		var sharded, monolithic serving.PredictReply
-		if err := ld.Predict(req, &sharded); err != nil {
+		if err := ld.Predict(context.Background(), req, &sharded); err != nil {
 			log.Fatal(err)
 		}
-		if err := mono.Predict(req, &monolithic); err != nil {
+		if err := mono.Predict(context.Background(), req, &monolithic); err != nil {
 			log.Fatal(err)
 		}
 		for i := range sharded.Probs {
@@ -164,7 +173,7 @@ func main() {
 			defer wg.Done()
 			for q := 0; q < perClient; q++ {
 				var reply serving.PredictReply
-				if err := ld.Predict(burst[c], &reply); err != nil {
+				if err := ld.Predict(context.Background(), burst[c], &reply); err != nil {
 					log.Printf("burst predict: %v", err)
 					return
 				}
@@ -179,4 +188,51 @@ func main() {
 		clients, perClient, elapsed.Round(time.Millisecond),
 		clients*perClient, fused, burstMean)
 	fmt.Printf("batch-size histogram: %s\n", ld.Batcher.BatchSizes)
+
+	// Live repartitioning: the hot set migrates halfway across the table
+	// (user-interest drift), the live profiling window catches the new
+	// distribution, the DP re-plans over the fresh CDF, and Repartition
+	// swaps the plan epoch while the deployment keeps serving.
+	drift.SetShift(int64(cfg.RowsPerTable / 2))
+	ld.StartProfile()
+	serveOne := func() {
+		req := &serving.PredictRequest{
+			BatchSize: cfg.BatchSize,
+			DenseDim:  cfg.DenseInputDim,
+			Dense:     make([]float32, cfg.BatchSize*cfg.DenseInputDim),
+		}
+		for t := 0; t < cfg.NumTables; t++ {
+			b := gen.Next()
+			req.Tables = append(req.Tables, serving.TableBatch{Indices: b.Indices, Offsets: b.Offsets})
+		}
+		var reply serving.PredictReply
+		if err := ld.Predict(context.Background(), req, &reply); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for q := 0; q < 200; q++ {
+		serveOne()
+	}
+	fmt.Printf("hotness drifted: epoch %d utility skew flattened to %.2f\n",
+		ld.Epoch(), ld.Table().UtilitySkew())
+
+	window := ld.SnapshotProfile()
+	replanner := &deploy.Planner{Profile: profile, CDF: embedding.NewCDF(window[0])}
+	newPlan, _, err := replanner.PartitionTable(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ld.Repartition(context.Background(), window, newPlan.Boundaries); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("repartitioned live: epoch %d, boundaries %v (%d swap)\n",
+		ld.Epoch(), ld.Boundaries(), ld.Router.Swaps.Value())
+	for q := 0; q < 200; q++ {
+		serveOne()
+	}
+	fmt.Printf("fresh epoch utility skew re-concentrated to %.2f\n", ld.Table().UtilitySkew())
+	for s := 0; s < len(ld.Boundaries()); s++ {
+		fmt.Printf("  epoch %d shard %d memory utility: %.1f%%\n",
+			ld.Epoch(), s+1, 100*ld.ShardUtility(0, s))
+	}
 }

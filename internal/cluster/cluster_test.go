@@ -499,3 +499,43 @@ func TestScaleUpDownConservesResourcesProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRepartitionPolicyValidate(t *testing.T) {
+	good := &RepartitionPolicy{MinSkew: 0.5, MinRequests: 100, MinInterval: time.Minute}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []*RepartitionPolicy{
+		{MinSkew: 0},
+		{MinSkew: 1.5},
+		{MinSkew: 0.5, MinRequests: -1},
+		{MinSkew: 0.5, MinInterval: -time.Second},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("policy %+v must not validate", bad)
+		}
+	}
+}
+
+func TestRepartitionPolicyTrigger(t *testing.T) {
+	p := &RepartitionPolicy{MinSkew: 0.5, MinRequests: 100, MinInterval: time.Minute}
+	now := time.Unix(1000, 0)
+	// Healthy skew (strongly concentrated utility) never fires.
+	if p.ShouldRepartition(0.8, 500, now) {
+		t.Fatal("healthy skew fired")
+	}
+	// A flattened profile fires only after the warm-up request count.
+	if p.ShouldRepartition(0.1, 50, now) {
+		t.Fatal("fired during warm-up")
+	}
+	if !p.ShouldRepartition(0.1, 500, now) {
+		t.Fatal("stale epoch did not fire")
+	}
+	// Re-firing is suppressed inside MinInterval, allowed after it.
+	if p.ShouldRepartition(0.1, 500, now.Add(30*time.Second)) {
+		t.Fatal("re-fired inside MinInterval")
+	}
+	if !p.ShouldRepartition(0.1, 500, now.Add(2*time.Minute)) {
+		t.Fatal("did not re-fire after MinInterval")
+	}
+}

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 )
 
@@ -66,6 +67,66 @@ func (p HPAPolicy) Validate() error {
 		return fmt.Errorf("cluster: negative tolerance %v", p.Tolerance)
 	}
 	return nil
+}
+
+// RepartitionPolicy decides when a live deployment's partition plan has
+// gone stale and should be re-planned from a fresh profiling window. It is
+// the control-plane counterpart of the HPA policies above: HPAs adjust
+// replica counts within a plan, a RepartitionPolicy decides when the plan
+// itself must be swapped (Sec. IV-B's re-profiling loop). The signal is
+// the per-shard memory-utility profile of Fig. 14: a hotness-aligned plan
+// is strongly skewed — the small hot shard saturates its rows while the
+// big cold shard stays barely touched — so when traffic hotness drifts
+// away from the boundaries the plan was cut for, accesses spread out and
+// the utility profile flattens. The trigger fires when the observed skew
+// (max - min utility across a table's shards) falls below MinSkew.
+type RepartitionPolicy struct {
+	// MinSkew is the smallest healthy utility spread (in (0, 1)); an
+	// epoch whose skew has flattened below it is considered stale.
+	MinSkew float64
+	// MinRequests is the warm-up: the epoch must have served at least
+	// this many requests before its utility profile is meaningful. The
+	// unit is dense-shard dispatches — with dynamic batching enabled, a
+	// fused batch of several client requests counts once, so size the
+	// warm-up against the expected fusion factor.
+	MinRequests int64
+	// MinInterval suppresses re-triggering while a fresh plan warms up.
+	MinInterval time.Duration
+
+	mu       sync.Mutex
+	lastFire time.Time
+	fired    bool
+}
+
+// Validate checks policy invariants.
+func (p *RepartitionPolicy) Validate() error {
+	if p.MinSkew <= 0 || p.MinSkew >= 1 {
+		return fmt.Errorf("cluster: repartition skew floor must be in (0,1), got %v", p.MinSkew)
+	}
+	if p.MinRequests < 0 {
+		return fmt.Errorf("cluster: negative repartition warm-up %d", p.MinRequests)
+	}
+	if p.MinInterval < 0 {
+		return fmt.Errorf("cluster: negative repartition interval %v", p.MinInterval)
+	}
+	return nil
+}
+
+// ShouldRepartition reports whether the epoch's flattened utility skew
+// justifies a plan swap at wall time now (after served requests in the
+// epoch), and records the firing time when it does.
+func (p *RepartitionPolicy) ShouldRepartition(skew float64, served int64, now time.Time) bool {
+	if served < p.MinRequests || skew >= p.MinSkew {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.fired && now.Sub(p.lastFire) < p.MinInterval {
+		return false
+	}
+	p.fired = true
+	p.lastFire = now
+	return true
 }
 
 // MetricSample is one control-loop observation for a deployment.

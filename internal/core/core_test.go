@@ -290,3 +290,26 @@ func TestStressTable(t *testing.T) {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
 }
+
+func TestRepartitionTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live repartition loop skipped in -short")
+	}
+	tab, err := RepartitionTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// The loop's contract: zero failed requests in every phase, and the
+	// repartitioned phase serves from epoch 1.
+	for _, row := range tab.Rows {
+		if row[4] != "0" {
+			t.Fatalf("phase %s dropped %s requests during the swap", row[0], row[4])
+		}
+	}
+	if tab.Rows[2][1] != "1" {
+		t.Fatalf("repartitioned phase epoch = %s, want 1", tab.Rows[2][1])
+	}
+}

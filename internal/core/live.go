@@ -1,0 +1,150 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/deploy"
+	"repro/internal/embedding"
+	"repro/internal/model"
+	"repro/internal/perfmodel"
+	"repro/internal/serving"
+	"repro/internal/workload"
+)
+
+// RepartitionTable runs the closed profiling -> repartition -> serve loop
+// of Sec. IV-B against a live in-process deployment: serve under the
+// profiled plan, drift the traffic hotness until the per-shard utility
+// profile (Fig. 14) flattens, re-plan with the DP partitioner over the
+// live profiling window, swap the plan epoch with zero downtime, and
+// serve on. The table reports each phase's epoch, boundaries, served
+// query count, failures (always 0 — the swap never drops a request) and
+// utility skew.
+func RepartitionTable() (*Table, error) {
+	cfg := model.RM1().WithRows(20_000).WithName("rm1-repartition")
+	cfg.NumTables = 2
+	m, err := model.New(cfg, 42)
+	if err != nil {
+		return nil, err
+	}
+	base, err := workload.NewPowerLawSampler(cfg.RowsPerTable, cfg.LocalityP, 0.9)
+	if err != nil {
+		return nil, err
+	}
+	drift, err := workload.NewDriftingSampler(base)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := workload.NewQueryGenerator(drift, workload.NewShuffledMapping(cfg.RowsPerTable, 3),
+		cfg.BatchSize, cfg.Pooling, 7)
+	if err != nil {
+		return nil, err
+	}
+
+	// Profiling window 1: the pre-deployment window BuildElastic consumes.
+	perTable := make([][]*embedding.Batch, cfg.NumTables)
+	for t := range perTable {
+		for q := 0; q < 150; q++ {
+			perTable[t] = append(perTable[t], gen.Next())
+		}
+	}
+	stats, err := serving.CollectStats(cfg, perTable)
+	if err != nil {
+		return nil, err
+	}
+
+	// DP plan over the profiled CDF (per-container minimum scaled with
+	// the ~1000x table downscale, as in the quickstart).
+	profile := perfmodel.CPUOnlyProfile()
+	profile.MinMemAlloc = 1 << 18
+	replan := func(window []*embedding.AccessStats) ([]int64, error) {
+		planner := &deploy.Planner{Profile: profile, CDF: embedding.NewCDF(window[0])}
+		plan, _, err := planner.PartitionTable(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return plan.Boundaries, nil
+	}
+	boundaries, err := replan(stats)
+	if err != nil {
+		return nil, err
+	}
+	ld, err := serving.BuildElastic(m, stats, boundaries, serving.BuildOptions{})
+	if err != nil {
+		return nil, err
+	}
+	defer ld.Close()
+
+	serve := func(n int) (int, error) {
+		failed := 0
+		for i := 0; i < n; i++ {
+			req := &serving.PredictRequest{
+				BatchSize: cfg.BatchSize,
+				DenseDim:  cfg.DenseInputDim,
+				Dense:     make([]float32, cfg.BatchSize*cfg.DenseInputDim),
+			}
+			for t := 0; t < cfg.NumTables; t++ {
+				b := gen.Next()
+				req.Tables = append(req.Tables, serving.TableBatch{Indices: b.Indices, Offsets: b.Offsets})
+			}
+			var reply serving.PredictReply
+			if err := ld.Predict(context.Background(), req, &reply); err != nil {
+				failed++
+			}
+		}
+		return failed, nil
+	}
+
+	tab := &Table{
+		Title:  "Sec. IV-B: closed profiling -> repartition -> serve loop (live deployment)",
+		Header: []string{"phase", "epoch", "shards", "served", "failed", "utility skew"},
+	}
+	row := func(phase string, served, failed int) {
+		rt := ld.Table()
+		tab.Rows = append(tab.Rows, []string{
+			phase,
+			fmt.Sprintf("%d", rt.Epoch),
+			fmt.Sprintf("%d", rt.NumShards(0)),
+			fmt.Sprintf("%d", served),
+			fmt.Sprintf("%d", failed),
+			fmt.Sprintf("%.2f", rt.UtilitySkew()),
+		})
+	}
+
+	const queries = 400
+	// Phase 1: aligned hotness — the plan concentrates utility.
+	failed, err := serve(queries)
+	if err != nil {
+		return nil, err
+	}
+	row("aligned", queries, failed)
+
+	// Phase 2: hotness drifts; profile the new distribution live.
+	drift.SetShift(int64(cfg.RowsPerTable / 2))
+	ld.StartProfile()
+	failed, err = serve(queries)
+	if err != nil {
+		return nil, err
+	}
+	row("drifted", queries, failed)
+
+	// Phase 3: re-plan from the live window and swap with zero downtime.
+	window := ld.SnapshotProfile()
+	newBoundaries, err := replan(window)
+	if err != nil {
+		return nil, err
+	}
+	if err := ld.Repartition(context.Background(), window, newBoundaries); err != nil {
+		return nil, err
+	}
+	failed, err = serve(queries)
+	if err != nil {
+		return nil, err
+	}
+	row("repartitioned", queries, failed)
+
+	tab.Notes = append(tab.Notes,
+		fmt.Sprintf("plan swaps: %d; old epoch drained and closed while serving continued", ld.Router.Swaps.Value()),
+		"utility skew = max-min per-shard memory utility (Fig. 14); aligned plans concentrate it, drift flattens it")
+	return tab, nil
+}

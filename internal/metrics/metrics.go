@@ -66,6 +66,53 @@ func (g *Gauge) Value() float64 {
 	return g.v
 }
 
+// GaugeVec is a labeled family of gauges, created on first Set — the
+// shape the serving layer uses for per-epoch, per-shard utility series
+// ("epoch3/t0/s1" → utility) that outlive the epoch that produced them.
+type GaugeVec struct {
+	mu sync.Mutex
+	m  map[string]float64
+}
+
+// NewGaugeVec creates an empty gauge family.
+func NewGaugeVec() *GaugeVec {
+	return &GaugeVec{m: make(map[string]float64)}
+}
+
+// Set stores v under the label.
+func (g *GaugeVec) Set(label string, v float64) {
+	g.mu.Lock()
+	g.m[label] = v
+	g.mu.Unlock()
+}
+
+// Value returns the gauge stored under the label and whether it exists.
+func (g *GaugeVec) Value(label string) (float64, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	v, ok := g.m[label]
+	return v, ok
+}
+
+// Labels returns every label with a stored gauge, sorted.
+func (g *GaugeVec) Labels() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]string, 0, len(g.m))
+	for l := range g.m {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of stored gauges.
+func (g *GaugeVec) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.m)
+}
+
 // QPSMeter measures completed-queries-per-second over a sliding window.
 type QPSMeter struct {
 	mu     sync.Mutex

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -248,5 +249,47 @@ func TestHistogramConcurrent(t *testing.T) {
 	wg.Wait()
 	if h.Count() != 800 {
 		t.Fatalf("count = %d, want 800", h.Count())
+	}
+}
+
+func TestGaugeVec(t *testing.T) {
+	g := NewGaugeVec()
+	if g.Len() != 0 || len(g.Labels()) != 0 {
+		t.Fatal("fresh gauge vec not empty")
+	}
+	g.Set("epoch0/t0/s0", 0.75)
+	g.Set("epoch0/t0/s1", 0.25)
+	g.Set("epoch0/t0/s0", 0.8) // overwrite
+	if v, ok := g.Value("epoch0/t0/s0"); !ok || v != 0.8 {
+		t.Fatalf("gauge = %v %v", v, ok)
+	}
+	if _, ok := g.Value("missing"); ok {
+		t.Fatal("missing label reported present")
+	}
+	labels := g.Labels()
+	if len(labels) != 2 || labels[0] != "epoch0/t0/s0" || labels[1] != "epoch0/t0/s1" {
+		t.Fatalf("labels = %v", labels)
+	}
+	if g.Len() != 2 {
+		t.Fatalf("len = %d", g.Len())
+	}
+}
+
+func TestGaugeVecConcurrent(t *testing.T) {
+	g := NewGaugeVec()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				g.Set(fmt.Sprintf("w%d/%d", w, i%10), float64(i))
+				g.Value(fmt.Sprintf("w%d/%d", (w+1)%8, i%10))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if g.Len() != 80 {
+		t.Fatalf("len = %d, want 80", g.Len())
 	}
 }

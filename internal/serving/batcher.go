@@ -1,6 +1,7 @@
 package serving
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -52,9 +53,10 @@ func (o *BatcherOptions) defaults() {
 
 // pendingPredict is one caller's request waiting in the batch queue.
 type pendingPredict struct {
-	req   *PredictRequest
-	probs []float32
-	done  chan error
+	req      *PredictRequest
+	deadline int64 // caller's ctx deadline in unix nanos (0 = none)
+	probs    []float32
+	done     chan error
 }
 
 // Batcher coalesces concurrent Predict calls into fused forward batches.
@@ -108,9 +110,12 @@ func NewBatcher(backend PredictClient, cfg model.Config, opts BatcherOptions) *B
 func (b *Batcher) Options() BatcherOptions { return b.opts }
 
 // Predict enqueues the request and blocks until its inputs have been
-// scored inside some fused batch. Safe for concurrent use; the request is
-// read-only until Predict returns.
-func (b *Batcher) Predict(req *PredictRequest, reply *PredictReply) error {
+// scored inside some fused batch, or until ctx is done. Safe for
+// concurrent use; the request is read-only until Predict returns. A
+// caller abandoning on ctx does not cancel the fused batch — its
+// batchmates still complete (the done channel is buffered, so the
+// dispatcher never blocks on an abandoned caller).
+func (b *Batcher) Predict(ctx context.Context, req *PredictRequest, reply *PredictReply) error {
 	// Per-request validation happens before enqueue: a bad request is
 	// bounced here and never contaminates a fused batch.
 	if err := req.Validate(b.cfg.NumTables); err != nil {
@@ -119,7 +124,10 @@ func (b *Batcher) Predict(req *PredictRequest, reply *PredictReply) error {
 	if req.DenseDim != b.cfg.DenseInputDim {
 		return fmt.Errorf("serving: dense dim %d != model %d", req.DenseDim, b.cfg.DenseInputDim)
 	}
-	p := &pendingPredict{req: req, done: make(chan error, 1)}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	p := &pendingPredict{req: req, deadline: ctxDeadlineNanos(ctx), done: make(chan error, 1)}
 	b.mu.RLock()
 	if b.closed {
 		b.mu.RUnlock()
@@ -128,11 +136,16 @@ func (b *Batcher) Predict(req *PredictRequest, reply *PredictReply) error {
 	b.reqs <- p
 	b.mu.RUnlock()
 	b.Requests.Inc(1)
-	if err := <-p.done; err != nil {
-		return err
+	select {
+	case err := <-p.done:
+		if err != nil {
+			return err
+		}
+		reply.Probs = p.probs
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
-	reply.Probs = p.probs
-	return nil
 }
 
 var _ PredictClient = (*Batcher)(nil)
@@ -182,12 +195,30 @@ func (b *Batcher) collect() {
 	}
 }
 
+// batchContext derives the fused call's context: the latest deadline
+// among the batchmates (so no caller's budget is cut short by a
+// batchmate's tighter one); unbounded when any caller has no deadline.
+func batchContext(batch []*pendingPredict) (context.Context, context.CancelFunc) {
+	latest := int64(0)
+	for _, p := range batch {
+		if p.deadline == 0 {
+			return context.WithCancel(context.Background())
+		}
+		if p.deadline > latest {
+			latest = p.deadline
+		}
+	}
+	return deadlineContext(latest)
+}
+
 // dispatch runs one fused batch against the backend and demuxes results.
 func (b *Batcher) dispatch(batch []*pendingPredict, total int) {
+	ctx, cancel := batchContext(batch)
+	defer cancel()
 	if len(batch) == 1 {
 		// Fast path: nothing to fuse or demux.
 		var reply PredictReply
-		err := b.backend.Predict(batch[0].req, &reply)
+		err := b.backend.Predict(ctx, batch[0].req, &reply)
 		if err == nil {
 			batch[0].probs = reply.Probs
 		}
@@ -196,7 +227,7 @@ func (b *Batcher) dispatch(batch []*pendingPredict, total int) {
 	}
 	fused := b.fuse(batch, total)
 	var reply PredictReply
-	if err := b.backend.Predict(fused, &reply); err != nil {
+	if err := b.backend.Predict(ctx, fused, &reply); err != nil {
 		for _, p := range batch {
 			p.done <- err
 		}

@@ -1,6 +1,7 @@
 package serving
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -38,7 +39,7 @@ type recordingBackend struct {
 	delay time.Duration
 }
 
-func (r *recordingBackend) Predict(req *PredictRequest, reply *PredictReply) error {
+func (r *recordingBackend) Predict(ctx context.Context, req *PredictRequest, reply *PredictReply) error {
 	r.mu.Lock()
 	r.calls = append(r.calls, req)
 	fail := r.fail
@@ -98,7 +99,7 @@ func TestBatcherMaxBatchCoalescing(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			var reply PredictReply
-			errs[i] = b.Predict(singleInputRequest(float32(i)), &reply)
+			errs[i] = b.Predict(bg, singleInputRequest(float32(i)), &reply)
 			if errs[i] == nil {
 				got[i] = reply.Probs[0]
 			}
@@ -142,7 +143,7 @@ func TestBatcherDeadlineFlush(t *testing.T) {
 
 	start := time.Now()
 	var reply PredictReply
-	if err := b.Predict(singleInputRequest(7), &reply); err != nil {
+	if err := b.Predict(bg, singleInputRequest(7), &reply); err != nil {
 		t.Fatal(err)
 	}
 	elapsed := time.Since(start)
@@ -183,10 +184,10 @@ func TestBatcherFuseRebasesOffsets(t *testing.T) {
 	var replyA, replyB PredictReply
 	var errA, errB error
 	wg.Add(1)
-	go func() { defer wg.Done(); errA = b.Predict(reqA, &replyA) }()
+	go func() { defer wg.Done(); errA = b.Predict(bg, reqA, &replyA) }()
 	time.Sleep(10 * time.Millisecond) // make reqA the batch head deterministically
 	wg.Add(1)
-	go func() { defer wg.Done(); errB = b.Predict(reqB, &replyB) }()
+	go func() { defer wg.Done(); errB = b.Predict(bg, reqB, &replyB) }()
 	wg.Wait()
 	if errA != nil || errB != nil {
 		t.Fatalf("errs: %v / %v", errA, errB)
@@ -236,7 +237,7 @@ func TestBatcherErrorDemux(t *testing.T) {
 
 	bad := &PredictRequest{BatchSize: 2, DenseDim: 1, Dense: []float32{1}} // payload mismatch
 	var badReply PredictReply
-	if err := b.Predict(bad, &badReply); err == nil {
+	if err := b.Predict(bg, bad, &badReply); err == nil {
 		t.Fatal("malformed request must be rejected")
 	}
 	if len(backend.batchSizes()) != 0 {
@@ -250,7 +251,7 @@ func TestBatcherErrorDemux(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			var reply PredictReply
-			errs[i] = b.Predict(singleInputRequest(float32(i)), &reply)
+			errs[i] = b.Predict(bg, singleInputRequest(float32(i)), &reply)
 		}(i)
 	}
 	wg.Wait()
@@ -278,7 +279,7 @@ func TestBatcherBackendErrorFansOut(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			var reply PredictReply
-			errs[i] = b.Predict(singleInputRequest(float32(i)), &reply)
+			errs[i] = b.Predict(bg, singleInputRequest(float32(i)), &reply)
 		}(i)
 	}
 	wg.Wait()
@@ -295,12 +296,12 @@ func TestBatcherBackendErrorFansOut(t *testing.T) {
 	var err error
 	done := make(chan struct{})
 	go func() {
-		err = b.Predict(singleInputRequest(3), &reply)
+		err = b.Predict(bg, singleInputRequest(3), &reply)
 		close(done)
 	}()
 	go func() {
 		var r PredictReply
-		_ = b.Predict(singleInputRequest(4), &r)
+		_ = b.Predict(bg, singleInputRequest(4), &r)
 	}()
 	<-done
 	if err != nil {
@@ -313,7 +314,7 @@ func TestBatcherClose(t *testing.T) {
 	backend := &recordingBackend{}
 	b := NewBatcher(backend, batcherConfig(), BatcherOptions{MaxDelay: time.Millisecond})
 	var reply PredictReply
-	if err := b.Predict(singleInputRequest(1), &reply); err != nil {
+	if err := b.Predict(bg, singleInputRequest(1), &reply); err != nil {
 		t.Fatal(err)
 	}
 	if err := b.Close(); err != nil {
@@ -322,7 +323,7 @@ func TestBatcherClose(t *testing.T) {
 	if err := b.Close(); err != nil {
 		t.Fatal(err) // idempotent
 	}
-	if err := b.Predict(singleInputRequest(2), &reply); err == nil {
+	if err := b.Predict(bg, singleInputRequest(2), &reply); err == nil {
 		t.Fatal("predict after Close must fail")
 	}
 }
@@ -354,7 +355,7 @@ func TestBatcherEquivalenceUnderConcurrency(t *testing.T) {
 	for i := range reqs {
 		reqs[i] = makeRequest(cfg, gen, uint64(1000+i))
 		var mr PredictReply
-		if err := mono.Predict(reqs[i], &mr); err != nil {
+		if err := mono.Predict(bg, reqs[i], &mr); err != nil {
 			t.Fatal(err)
 		}
 		want[i] = mr.Probs
@@ -369,7 +370,7 @@ func TestBatcherEquivalenceUnderConcurrency(t *testing.T) {
 			for q := 0; q < perClient; q++ {
 				i := c*perClient + q
 				var reply PredictReply
-				if err := ld.Predict(reqs[i], &reply); err != nil {
+				if err := ld.Predict(bg, reqs[i], &reply); err != nil {
 					errc <- fmt.Errorf("client %d query %d: %w", c, q, err)
 					return
 				}
@@ -447,7 +448,7 @@ func TestConcurrentPredictThroughputScaling(t *testing.T) {
 						return
 					}
 					var reply PredictReply
-					if err := ld.Predict(reqs[(int(i)+c)%len(reqs)], &reply); err != nil {
+					if err := ld.Predict(bg, reqs[(int(i)+c)%len(reqs)], &reply); err != nil {
 						t.Error(err)
 						return
 					}

@@ -1,7 +1,9 @@
 package serving
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/bucketize"
@@ -12,14 +14,16 @@ import (
 )
 
 // DenseShard is the dense DNN microservice: it owns the bottom/top MLP
-// parameters and, per table, the shard boundaries plus a gather client for
-// every embedding shard. On Predict it bucketizes the sparse inputs, fans
-// the gathers out concurrently, merges the pooled partial sums and
-// finishes the forward pass (Sec. IV-A).
+// parameters and consults the epoch-versioned Router for the current
+// partition plan. On Predict it pins exactly one routing-table epoch,
+// applies that epoch's preprocessing remap, bucketizes the sparse inputs
+// against that epoch's boundaries, fans the gathers out concurrently to
+// that epoch's shard clients, merges the pooled partial sums and finishes
+// the forward pass (Sec. IV-A). Because the whole fan-out happens inside
+// one snapshot, a concurrent plan swap can never mix shards of two plans.
 type DenseShard struct {
-	cfg        model.Config
-	boundaries [][]int64        // per table: plan boundaries in sorted space
-	clients    [][]GatherClient // per table, per shard
+	cfg    model.Config
+	router *Router
 
 	dense *model.Model // parameters read-only; scratch comes from its pool
 
@@ -27,36 +31,19 @@ type DenseShard struct {
 	QPS     *metrics.QPSMeter
 }
 
-// NewDenseShard wires a dense service. denseModel needs only its MLPs
-// (model.NewDenseOnly suffices); boundaries[t] is table t's partition plan
-// and clients[t][s] the client for shard s of table t (typically a
-// ReplicaPool).
-func NewDenseShard(denseModel *model.Model, boundaries [][]int64, clients [][]GatherClient) (*DenseShard, error) {
-	cfg := denseModel.Config
-	if len(boundaries) != cfg.NumTables || len(clients) != cfg.NumTables {
-		return nil, fmt.Errorf("serving: dense shard needs %d tables of boundaries/clients, got %d/%d",
-			cfg.NumTables, len(boundaries), len(clients))
-	}
-	for t := range boundaries {
-		if len(boundaries[t]) == 0 {
-			return nil, fmt.Errorf("serving: table %d has no shard boundaries", t)
-		}
-		if len(clients[t]) != len(boundaries[t]) {
-			return nil, fmt.Errorf("serving: table %d has %d clients for %d shards",
-				t, len(clients[t]), len(boundaries[t]))
-		}
-		if last := boundaries[t][len(boundaries[t])-1]; last != cfg.RowsPerTable {
-			return nil, fmt.Errorf("serving: table %d boundaries end at %d, want %d",
-				t, last, cfg.RowsPerTable)
-		}
+// NewDenseShard wires a dense service over a routing layer. denseModel
+// needs only its MLPs (model.NewDenseOnly suffices); router serves the
+// partition plan epochs (see NewRoutingTable for the plan layout).
+func NewDenseShard(denseModel *model.Model, router *Router) (*DenseShard, error) {
+	if router == nil || router.Load() == nil {
+		return nil, fmt.Errorf("serving: dense shard needs a router with a published routing table")
 	}
 	return &DenseShard{
-		cfg:        cfg,
-		boundaries: boundaries,
-		clients:    clients,
-		dense:      denseModel,
-		Latency:    metrics.NewLatencyRecorder(0),
-		QPS:        metrics.NewQPSMeter(10 * time.Second),
+		cfg:     denseModel.Config,
+		router:  router,
+		dense:   denseModel,
+		Latency: metrics.NewLatencyRecorder(0),
+		QPS:     metrics.NewQPSMeter(10 * time.Second),
 	}, nil
 }
 
@@ -64,15 +51,20 @@ func NewDenseShard(denseModel *model.Model, boundaries [][]int64, clients [][]Ga
 // frontend to validate requests before they join a fused batch).
 func (d *DenseShard) Config() model.Config { return d.cfg }
 
-// gatherResult carries one shard's reply through the fan-out.
-type gatherResult struct {
+// Router returns the routing layer the shard consults.
+func (d *DenseShard) Router() *Router { return d.router }
+
+// gatherCall is one (table, shard) RPC of the fan-out.
+type gatherCall struct {
 	table, shard int
+	req          GatherRequest
 	reply        GatherReply
-	err          error
 }
 
-// Predict services one query whose sparse indices are in sorted-ID space.
-func (d *DenseShard) Predict(req *PredictRequest, reply *PredictReply) error {
+// Predict services one query. When the pinned epoch carries a
+// preprocessing remap the request is in original-ID space; otherwise it is
+// already hotness-sorted.
+func (d *DenseShard) Predict(ctx context.Context, req *PredictRequest, reply *PredictReply) error {
 	start := time.Now()
 	if err := req.Validate(d.cfg.NumTables); err != nil {
 		return err
@@ -82,20 +74,29 @@ func (d *DenseShard) Predict(req *PredictRequest, reply *PredictReply) error {
 	}
 	bs := req.BatchSize
 
-	// Bucketize every table's batch across its shards (Sec. IV-C).
-	type call struct {
-		table, shard int
-		req          GatherRequest
+	// Pin one routing epoch for the whole request; the epoch cannot be
+	// retired until this request releases it.
+	rt := d.router.Acquire()
+	defer rt.release()
+
+	if rt.Pre != nil {
+		remapped, err := rt.Pre.RemapRequest(req)
+		if err != nil {
+			return err
+		}
+		req = remapped
 	}
-	var calls []call
+
+	// Bucketize every table's batch across the epoch's shards (Sec. IV-C).
+	var calls []*gatherCall
 	for t := 0; t < d.cfg.NumTables; t++ {
 		b := &embedding.Batch{Indices: req.Tables[t].Indices, Offsets: req.Tables[t].Offsets}
-		parts, err := bucketize.Split(b, d.boundaries[t])
+		parts, err := bucketize.Split(b, rt.Boundaries[t])
 		if err != nil {
 			return fmt.Errorf("serving: table %d: %w", t, err)
 		}
 		for s, part := range parts {
-			calls = append(calls, call{
+			calls = append(calls, &gatherCall{
 				table: t,
 				shard: s,
 				req: GatherRequest{
@@ -108,15 +109,37 @@ func (d *DenseShard) Predict(req *PredictRequest, reply *PredictReply) error {
 		}
 	}
 
-	// Fan out the gathers concurrently — one RPC per (table, shard).
-	results := make(chan gatherResult, len(calls))
-	for i := range calls {
-		c := calls[i]
-		go func() {
-			r := gatherResult{table: c.table, shard: c.shard}
-			r.err = d.clients[c.table][c.shard].Gather(&c.req, &r.reply)
-			results <- r
-		}()
+	// Fan the gathers out concurrently — one RPC per (table, shard) — in
+	// errgroup style: the first failure cancels the sibling gathers, and
+	// the wait ensures no straggler lands after Predict returns.
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	var errOnce sync.Once
+	var firstErr error
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	for _, c := range calls {
+		wg.Add(1)
+		go func(c *gatherCall) {
+			defer wg.Done()
+			if err := rt.Clients[c.table][c.shard].Gather(gctx, &c.req, &c.reply); err != nil {
+				fail(fmt.Errorf("serving: gather t%d s%d: %w", c.table, c.shard, err))
+				return
+			}
+			if c.reply.BatchSize != bs || c.reply.Dim != d.cfg.EmbeddingDim {
+				fail(fmt.Errorf("serving: gather t%d s%d returned %dx%d, want %dx%d",
+					c.table, c.shard, c.reply.BatchSize, c.reply.Dim, bs, d.cfg.EmbeddingDim))
+			}
+		}(c)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
 	}
 
 	// Merge per-table partial sums (pooling is additive).
@@ -124,17 +147,10 @@ func (d *DenseShard) Predict(req *PredictRequest, reply *PredictReply) error {
 	for t := range pooled {
 		pooled[t] = tensor.NewMatrix(bs, d.cfg.EmbeddingDim)
 	}
-	for range calls {
-		r := <-results
-		if r.err != nil {
-			return fmt.Errorf("serving: gather t%d s%d: %w", r.table, r.shard, r.err)
-		}
-		if r.reply.BatchSize != bs || r.reply.Dim != d.cfg.EmbeddingDim {
-			return fmt.Errorf("serving: gather t%d s%d returned %dx%d, want %dx%d",
-				r.table, r.shard, r.reply.BatchSize, r.reply.Dim, bs, d.cfg.EmbeddingDim)
-		}
-		for i, v := range r.reply.Pooled {
-			pooled[r.table].Data[i] += v
+	for _, c := range calls {
+		dst := pooled[c.table].Data
+		for i, v := range c.reply.Pooled {
+			dst[i] += v
 		}
 	}
 
@@ -157,6 +173,7 @@ func (d *DenseShard) Predict(req *PredictRequest, reply *PredictReply) error {
 		probs[i] = p
 	}
 	reply.Probs = probs
+	rt.Served.Inc(1)
 	d.Latency.Observe(time.Since(start))
 	d.QPS.Mark()
 	return nil
@@ -184,8 +201,11 @@ func NewMonolith(m *model.Model) *Monolith {
 }
 
 // Predict services one query with indices in original table-ID space.
-func (m *Monolith) Predict(req *PredictRequest, reply *PredictReply) error {
+func (m *Monolith) Predict(ctx context.Context, req *PredictRequest, reply *PredictReply) error {
 	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	cfg := m.model.Config
 	if err := req.Validate(cfg.NumTables); err != nil {
 		return err

@@ -1,10 +1,13 @@
 package serving
 
 import (
+	"context"
 	"fmt"
-	"io"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/embedding"
+	"repro/internal/metrics"
 	"repro/internal/model"
 )
 
@@ -27,6 +30,8 @@ type BuildOptions struct {
 	// Replicas[s] is the initial replica count of shard s in every
 	// table's pool (nil = one replica each). Replicas share the sorted
 	// table storage in-process; they model independent serving replicas.
+	// A repartitioned epoch starts from the same initial counts; the
+	// live autoscaler re-scales it under traffic.
 	Replicas []int
 	// Batching, when non-nil, fronts the dense shard with a dynamic
 	// batcher: concurrent Predict calls are coalesced into fused forward
@@ -35,58 +40,124 @@ type BuildOptions struct {
 	Batching *BatcherOptions
 }
 
-// LiveDeployment is a fully wired ElasticRec serving instance.
+// LiveDeployment is a fully wired ElasticRec serving instance. The
+// partition plan lives in an epoch-versioned Router: Repartition builds
+// the next epoch side-by-side from fresh access statistics, publishes it
+// atomically and retires the old one — the zero-downtime plan swap of the
+// paper's re-profiling loop (Sec. IV-B).
 type LiveDeployment struct {
-	Pre        *Preprocessed
-	Dense      *DenseShard
-	Boundaries []int64
+	Router *Router
+	Dense  *DenseShard
 	// Batcher is the dynamic-batching frontend over Dense (nil unless
 	// BuildOptions.Batching was set). Predict routes through it when
 	// present.
 	Batcher *Batcher
-	// Shards[t][s] is the primary service instance of shard s of table
-	// t (replicas added to the pools share its storage and metrics).
-	Shards [][]*EmbeddingShard
-	// Pools[t][s] load-balances shard s of table t.
-	Pools [][]*ReplicaPool
+	// EpochUtility records every retired epoch's final per-shard memory
+	// utility under labels like "epoch0/t1/s2" — the Fig. 14 series over
+	// the deployment's whole life, not just the current plan.
+	EpochUtility *metrics.GaugeVec
 
-	servers []*RPCServer
-	closers []io.Closer
+	source *model.Model // the full model, kept for re-preprocessing
+	opts   BuildOptions
+	cfg    model.Config
+
+	servers []*RPCServer // frontend (ExportPredict) servers
+
+	// profile is the live profiling window (nil = off). The atomic
+	// pointer keeps the no-window fast path lock-free so profiling never
+	// taxes the de-serialized predict hot path when it is off.
+	profile atomic.Pointer[profileWindow]
+
+	repartitionMu sync.Mutex // serializes plan swaps
+}
+
+// profileWindow is one live profiling window's state.
+type profileWindow struct {
+	mu     sync.Mutex
+	closed bool
+	stats  []*embedding.AccessStats
 }
 
 // BuildElastic assembles a live ElasticRec deployment from a fully
 // instantiated model: it preprocesses (hotness-sorts) the tables from the
 // recorded access statistics, slices every table at the plan boundaries,
 // spins each slice up as an embedding-shard service (optionally behind
-// loopback-TCP RPC), and wires a dense shard over the replica pools.
+// loopback-TCP RPC), and wires a dense shard over an epoch-versioned
+// routing table.
 func BuildElastic(m *model.Model, stats []*embedding.AccessStats, boundaries []int64, opts BuildOptions) (*LiveDeployment, error) {
-	if len(boundaries) == 0 {
-		return nil, fmt.Errorf("serving: empty partition boundaries")
-	}
-	if boundaries[len(boundaries)-1] != m.Config.RowsPerTable {
-		return nil, fmt.Errorf("serving: boundaries end at %d, table has %d rows",
-			boundaries[len(boundaries)-1], m.Config.RowsPerTable)
-	}
 	if opts.Transport == "" {
 		opts.Transport = TransportLocal
 	}
-	pre, err := Preprocess(m, stats)
+	ld := &LiveDeployment{
+		EpochUtility: metrics.NewGaugeVec(),
+		source:       m,
+		opts:         opts,
+		cfg:          m.Config,
+	}
+	rt, err := ld.buildTable(0, stats, boundaries)
 	if err != nil {
 		return nil, err
 	}
-	ld := &LiveDeployment{Pre: pre, Boundaries: boundaries}
+	ld.Router = NewRouter(rt)
 
-	cfg := m.Config
+	denseModel, err := model.NewDenseOnly(ld.cfg, 0)
+	if err != nil {
+		rt.Close()
+		return nil, err
+	}
+	// The dense shard must score with the same MLP parameters as the
+	// source model, so copy them over.
+	denseModel.Bottom = m.Bottom.Clone()
+	denseModel.Top = m.Top.Clone()
+	dense, err := NewDenseShard(denseModel, ld.Router)
+	if err != nil {
+		rt.Close()
+		return nil, err
+	}
+	ld.Dense = dense
+	if opts.Batching != nil {
+		ld.Batcher = NewBatcher(dense, dense.Config(), *opts.Batching)
+	}
+	return ld, nil
+}
+
+// buildTable constructs one routing-table epoch: preprocess from the given
+// stats, slice every table at the boundaries, and spin up shard services,
+// replica pools and transports. The epoch owns everything it builds.
+func (ld *LiveDeployment) buildTable(epoch int64, stats []*embedding.AccessStats, boundaries []int64) (*RoutingTable, error) {
+	if len(boundaries) == 0 {
+		return nil, fmt.Errorf("serving: empty partition boundaries")
+	}
+	if boundaries[len(boundaries)-1] != ld.cfg.RowsPerTable {
+		return nil, fmt.Errorf("serving: boundaries end at %d, table has %d rows",
+			boundaries[len(boundaries)-1], ld.cfg.RowsPerTable)
+	}
+	pre, err := Preprocess(ld.source, stats)
+	if err != nil {
+		return nil, err
+	}
+
+	cfg := ld.cfg
 	numShards := len(boundaries)
 	replicaCount := func(s int) int {
-		if s < len(opts.Replicas) && opts.Replicas[s] > 0 {
-			return opts.Replicas[s]
+		if s < len(ld.opts.Replicas) && ld.opts.Replicas[s] > 0 {
+			return ld.opts.Replicas[s]
 		}
 		return 1
 	}
 
 	allBoundaries := make([][]int64, cfg.NumTables)
 	allClients := make([][]GatherClient, cfg.NumTables)
+	var allShards [][]*EmbeddingShard
+	var allPools [][]*ReplicaPool
+	var rt *RoutingTable // carries servers/closers for cleanup on error
+	fail := func(err error) (*RoutingTable, error) {
+		if rt != nil {
+			rt.Close()
+		}
+		return nil, err
+	}
+	rt = &RoutingTable{}
 	for t := 0; t < cfg.NumTables; t++ {
 		allBoundaries[t] = boundaries
 		var shardRow []*EmbeddingShard
@@ -97,16 +168,14 @@ func BuildElastic(m *model.Model, stats []*embedding.AccessStats, boundaries []i
 			hi := boundaries[s]
 			svc, err := NewEmbeddingShard(t, s, pre.Sorted[t], lo, hi)
 			if err != nil {
-				ld.Close()
-				return nil, err
+				return fail(err)
 			}
 			shardRow = append(shardRow, svc)
 			pool := NewReplicaPool()
 			for r := 0; r < replicaCount(s); r++ {
-				client, err := ld.exportGather(svc, fmt.Sprintf("T%dS%dR%d", t, s, r), opts.Transport)
+				client, err := exportGather(rt, svc, fmt.Sprintf("E%dT%dS%dR%d", epoch, t, s, r), ld.opts.Transport)
 				if err != nil {
-					ld.Close()
-					return nil, err
+					return fail(err)
 				}
 				pool.Add(client)
 			}
@@ -114,34 +183,26 @@ func BuildElastic(m *model.Model, stats []*embedding.AccessStats, boundaries []i
 			clientRow = append(clientRow, pool)
 			lo = hi
 		}
-		ld.Shards = append(ld.Shards, shardRow)
-		ld.Pools = append(ld.Pools, poolRow)
+		allShards = append(allShards, shardRow)
+		allPools = append(allPools, poolRow)
 		allClients[t] = clientRow
 	}
 
-	denseModel, err := model.NewDenseOnly(cfg, 0)
+	built, err := NewRoutingTable(epoch, cfg, pre, allBoundaries, allClients)
 	if err != nil {
-		ld.Close()
-		return nil, err
+		return fail(err)
 	}
-	// The dense shard must score with the same MLP parameters as the
-	// source model, so copy them over.
-	denseModel.Bottom = m.Bottom.Clone()
-	denseModel.Top = m.Top.Clone()
-	dense, err := NewDenseShard(denseModel, allBoundaries, allClients)
-	if err != nil {
-		ld.Close()
-		return nil, err
-	}
-	ld.Dense = dense
-	if opts.Batching != nil {
-		ld.Batcher = NewBatcher(dense, dense.Config(), *opts.Batching)
-	}
-	return ld, nil
+	built.Plan = append([]int64(nil), boundaries...)
+	built.Shards = allShards
+	built.Pools = allPools
+	built.servers = rt.servers
+	built.closers = rt.closers
+	return built, nil
 }
 
-// exportGather wraps a shard service in the chosen transport.
-func (ld *LiveDeployment) exportGather(svc GatherClient, name string, tr Transport) (GatherClient, error) {
+// exportGather wraps a shard service in the chosen transport, recording
+// any servers/connections on the owning routing table.
+func exportGather(rt *RoutingTable, svc GatherClient, name string, tr Transport) (GatherClient, error) {
 	switch tr {
 	case TransportLocal:
 		return svc, nil
@@ -154,33 +215,140 @@ func (ld *LiveDeployment) exportGather(svc GatherClient, name string, tr Transpo
 			srv.Close()
 			return nil, err
 		}
-		ld.servers = append(ld.servers, srv)
+		rt.servers = append(rt.servers, srv)
 		client, err := DialGather(srv.Addr(), name)
 		if err != nil {
 			return nil, err
 		}
-		ld.closers = append(ld.closers, client)
+		rt.closers = append(rt.closers, client)
 		return client, nil
 	default:
 		return nil, fmt.Errorf("serving: unknown transport %q", tr)
 	}
 }
 
-// Predict services a query whose sparse indices are in the *original*
-// table-ID space: the frontend applies the preprocessing remap and then
-// calls the dense shard (the microservice entry point), going through the
-// dynamic batcher when one is configured. The remap happens before
-// enqueue, so a request with out-of-range indices is rejected without ever
-// joining a fused batch.
-func (ld *LiveDeployment) Predict(req *PredictRequest, reply *PredictReply) error {
-	remapped, err := ld.Pre.RemapRequest(req)
+// Repartition performs a zero-downtime plan swap: it re-preprocesses the
+// tables from the fresh access statistics, builds the next epoch's shard
+// services side-by-side (the old epoch keeps serving throughout),
+// atomically publishes the new routing table, then drains the old epoch's
+// in-flight requests and closes its servers and connections. Concurrent
+// Predicts never fail and never mix shards across plans — each pins one
+// epoch for its whole fan-out.
+func (ld *LiveDeployment) Repartition(ctx context.Context, stats []*embedding.AccessStats, newBoundaries []int64) error {
+	ld.repartitionMu.Lock()
+	defer ld.repartitionMu.Unlock()
+
+	old := ld.Router.Load()
+	next, err := ld.buildTable(old.Epoch+1, stats, newBoundaries)
 	if err != nil {
+		return fmt.Errorf("serving: repartition: %w", err)
+	}
+	retired := ld.Router.Publish(next)
+	if err := retired.Drain(ctx); err != nil {
+		// The new epoch is live; the old one could not be drained in
+		// time and is intentionally leaked rather than closed under an
+		// in-flight request.
 		return err
 	}
-	if ld.Batcher != nil {
-		return ld.Batcher.Predict(remapped, reply)
+	ld.recordEpochUtility(retired)
+	retired.Close()
+	return nil
+}
+
+// recordEpochUtility freezes a retiring epoch's final per-shard utilities
+// into the deployment's gauge vector.
+func (ld *LiveDeployment) recordEpochUtility(rt *RoutingTable) {
+	for t := range rt.Shards {
+		for s := range rt.Shards[t] {
+			ld.EpochUtility.Set(fmt.Sprintf("epoch%d/t%d/s%d", rt.Epoch, t, s), rt.Utility(t, s))
+		}
 	}
-	return ld.Dense.Predict(remapped, reply)
+}
+
+// Predict services a query whose sparse indices are in the *original*
+// table-ID space, going through the dynamic batcher when one is
+// configured. The preprocessing remap happens inside the routed epoch
+// snapshot (see DenseShard.Predict), so fused batches and plan swaps can
+// never mix ID spaces. When a live profiling window is open, the request
+// is also recorded into it.
+func (ld *LiveDeployment) Predict(ctx context.Context, req *PredictRequest, reply *PredictReply) error {
+	ld.recordProfile(req)
+	if ld.Batcher != nil {
+		return ld.Batcher.Predict(ctx, req, reply)
+	}
+	return ld.Dense.Predict(ctx, req, reply)
+}
+
+// StartProfile opens a fresh live profiling window: every subsequent
+// Predict records its original-ID accesses, exactly the Sec. IV-B window
+// production servers run ahead of a repartition.
+func (ld *LiveDeployment) StartProfile() {
+	w := &profileWindow{stats: make([]*embedding.AccessStats, ld.cfg.NumTables)}
+	for t := range w.stats {
+		w.stats[t] = embedding.NewAccessStats(ld.cfg.RowsPerTable)
+	}
+	ld.profile.Store(w)
+}
+
+// SnapshotProfile closes the current profiling window and returns its
+// statistics (nil when no window was open). The window must be restarted
+// explicitly for the next cycle.
+func (ld *LiveDeployment) SnapshotProfile() []*embedding.AccessStats {
+	w := ld.profile.Swap(nil)
+	if w == nil {
+		return nil
+	}
+	// Taking the window lock (and marking it closed) fences out in-flight
+	// recorders: once we return, nothing mutates the stats anymore.
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.closed = true
+	return w.stats
+}
+
+// recordProfile adds one request's accesses to the open window, if any.
+// With no window open this is one atomic load on the hot path.
+func (ld *LiveDeployment) recordProfile(req *PredictRequest) {
+	w := ld.profile.Load()
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed || len(req.Tables) != len(w.stats) {
+		return
+	}
+	for t, tb := range req.Tables {
+		b := &embedding.Batch{Indices: tb.Indices, Offsets: tb.Offsets}
+		_ = w.stats[t].RecordBatch(b)
+	}
+}
+
+// Table returns the current routing-table epoch (observability snapshot;
+// the request path pins epochs through the router instead).
+func (ld *LiveDeployment) Table() *RoutingTable { return ld.Router.Load() }
+
+// Epoch returns the current plan epoch number.
+func (ld *LiveDeployment) Epoch() int64 { return ld.Router.Load().Epoch }
+
+// Boundaries returns the current epoch's per-table boundary plan.
+func (ld *LiveDeployment) Boundaries() []int64 { return ld.Router.Load().Plan }
+
+// Pre returns the current epoch's preprocessing output.
+func (ld *LiveDeployment) Pre() *Preprocessed { return ld.Router.Load().Pre }
+
+// Pool returns the replica pool of shard s of table t in the current
+// epoch.
+func (ld *LiveDeployment) Pool(t, s int) *ReplicaPool { return ld.Router.Load().Pools[t][s] }
+
+// Shard returns the primary shard service of shard s of table t in the
+// current epoch.
+func (ld *LiveDeployment) Shard(t, s int) *EmbeddingShard { return ld.Router.Load().Shards[t][s] }
+
+// ShardUtility returns the Fig. 14-style memory utility of shard s of
+// table t over the traffic the current epoch has served.
+func (ld *LiveDeployment) ShardUtility(t, s int) float64 {
+	return ld.Router.Load().Utility(t, s)
 }
 
 // ExportPredict exposes the deployment's predict frontend (batcher-routed
@@ -201,34 +369,30 @@ func (ld *LiveDeployment) ExportPredict(name string) (string, error) {
 }
 
 // predictFunc adapts a function to PredictClient.
-type predictFunc func(*PredictRequest, *PredictReply) error
+type predictFunc func(context.Context, *PredictRequest, *PredictReply) error
 
-func (f predictFunc) Predict(req *PredictRequest, reply *PredictReply) error { return f(req, reply) }
+func (f predictFunc) Predict(ctx context.Context, req *PredictRequest, reply *PredictReply) error {
+	return f(ctx, req, reply)
+}
 
 var _ PredictClient = (*LiveDeployment)(nil)
 
-// ShardUtility returns the Fig. 14-style memory utility of shard s of
-// table t over the traffic served so far.
-func (ld *LiveDeployment) ShardUtility(t, s int) float64 {
-	return ld.Shards[t][s].Utility.Utility()
-}
-
-// Close flushes the batcher (if any) and tears down any RPC servers and
-// client connections.
+// Close flushes the batcher (if any) and tears down the frontend servers
+// and the current epoch's transport resources.
 func (ld *LiveDeployment) Close() {
 	if ld.Batcher != nil {
 		// Close is idempotent; keep the field set so a straggling
 		// Predict gets "batcher is closed" instead of racing on nil.
 		_ = ld.Batcher.Close()
 	}
-	for _, c := range ld.closers {
-		_ = c.Close()
-	}
-	ld.closers = nil
 	for _, s := range ld.servers {
 		_ = s.Close()
 	}
 	ld.servers = nil
+	if rt := ld.Router.Load(); rt != nil {
+		ld.recordEpochUtility(rt)
+		rt.Close()
+	}
 }
 
 // CollectStats replays the batches in original-ID space into fresh access

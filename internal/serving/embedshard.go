@@ -1,6 +1,7 @@
 package serving
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -55,9 +56,14 @@ func (s *EmbeddingShard) ParamBytes() int64 { return s.table.SizeBytes() }
 
 // Gather services one bucketized gather-and-pool request. It satisfies
 // GatherClient, so a shard can be called directly (in-process transport)
-// or registered with net/rpc.
-func (s *EmbeddingShard) Gather(req *GatherRequest, reply *GatherReply) error {
+// or registered with net/rpc. A context canceled before the gather starts
+// aborts the call without touching the utility counters, which is what
+// lets the dense shard cancel straggler gathers after a sibling failure.
+func (s *EmbeddingShard) Gather(ctx context.Context, req *GatherRequest, reply *GatherReply) error {
 	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("serving: shard t%d s%d: %w", s.TableIndex, s.ShardIndex, err)
+	}
 	b := embedding.Batch{Indices: req.Indices, Offsets: req.Offsets}
 	if err := b.Validate(); err != nil {
 		return fmt.Errorf("serving: shard t%d s%d: %w", s.TableIndex, s.ShardIndex, err)

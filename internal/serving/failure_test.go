@@ -1,6 +1,7 @@
 package serving
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -15,12 +16,23 @@ type flakyClient struct {
 	inner    GatherClient
 }
 
-func (f *flakyClient) Gather(req *GatherRequest, reply *GatherReply) error {
+func (f *flakyClient) Gather(ctx context.Context, req *GatherRequest, reply *GatherReply) error {
 	f.calls++
 	if f.calls <= f.failures {
 		return fmt.Errorf("flaky: injected failure %d", f.calls)
 	}
-	return f.inner.Gather(req, reply)
+	return f.inner.Gather(ctx, req, reply)
+}
+
+// corruptingClient scribbles partial fields into the reply, then fails —
+// the shape of a replica dying mid-serialization.
+type corruptingClient struct{}
+
+func (corruptingClient) Gather(ctx context.Context, req *GatherRequest, reply *GatherReply) error {
+	reply.BatchSize = 999
+	reply.Dim = 999
+	reply.Pooled = []float32{1e9, 1e9}
+	return fmt.Errorf("corrupting: died mid-reply")
 }
 
 func TestReplicaPoolFailsOverToHealthyReplica(t *testing.T) {
@@ -38,8 +50,35 @@ func TestReplicaPoolFailsOverToHealthyReplica(t *testing.T) {
 	// Every call must succeed despite the dead replica in rotation.
 	for i := 0; i < 10; i++ {
 		var reply GatherReply
-		if err := pool.Gather(req, &reply); err != nil {
+		if err := pool.Gather(bg, req, &reply); err != nil {
 			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+}
+
+// TestReplicaPoolFailoverResetsReply is the regression test for the
+// reply-reuse bug: a failed replica that leaves partial fields behind must
+// not contaminate the reply a later healthy replica fills in.
+func TestReplicaPoolFailoverResetsReply(t *testing.T) {
+	tab, err := embedding.NewRandomTable("t", 100, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy, err := NewEmbeddingShard(0, 0, tab, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two replicas: the round robin must hit the corrupting one first at
+	// least every other call, so run several calls and check each reply.
+	pool := NewReplicaPool(corruptingClient{}, healthy)
+	req := &GatherRequest{Indices: []int64{1}, Offsets: []int32{0}}
+	for i := 0; i < 6; i++ {
+		var reply GatherReply
+		if err := pool.Gather(bg, req, &reply); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if reply.BatchSize != 1 || reply.Dim != 4 || len(reply.Pooled) != 4 {
+			t.Fatalf("call %d: corrupted reply leaked through failover: %+v", i, reply)
 		}
 	}
 }
@@ -49,7 +88,7 @@ func TestReplicaPoolAllReplicasDown(t *testing.T) {
 	dead2 := &flakyClient{failures: 1 << 30}
 	pool := NewReplicaPool(dead1, dead2)
 	var reply GatherReply
-	err := pool.Gather(&GatherRequest{Indices: []int64{0}, Offsets: []int32{0}}, &reply)
+	err := pool.Gather(bg, &GatherRequest{Indices: []int64{0}, Offsets: []int32{0}}, &reply)
 	if err == nil {
 		t.Fatal("want error when every replica fails")
 	}
@@ -66,15 +105,59 @@ func TestReplicaPoolTransientFailureRecovers(t *testing.T) {
 	req := &GatherRequest{Indices: []int64{1}, Offsets: []int32{0}}
 	var reply GatherReply
 	// Single replica: first calls fail outright (no other replica).
-	if err := pool.Gather(req, &reply); err == nil {
+	if err := pool.Gather(bg, req, &reply); err == nil {
 		t.Fatal("want failure during the flaky window")
 	}
-	if err := pool.Gather(req, &reply); err == nil {
+	if err := pool.Gather(bg, req, &reply); err == nil {
 		t.Fatal("want failure during the flaky window")
 	}
 	// After the transient window the same pool recovers.
-	if err := pool.Gather(req, &reply); err != nil {
+	if err := pool.Gather(bg, req, &reply); err != nil {
 		t.Fatalf("recovered replica still failing: %v", err)
+	}
+}
+
+// failingPredict always errors; healthyPredict echoes one probability.
+type failingPredict struct{ calls int }
+
+func (f *failingPredict) Predict(ctx context.Context, req *PredictRequest, reply *PredictReply) error {
+	f.calls++
+	reply.Probs = []float32{-1} // partial garbage a retry must not keep
+	return fmt.Errorf("predict replica down")
+}
+
+type healthyPredict struct{}
+
+func (healthyPredict) Predict(ctx context.Context, req *PredictRequest, reply *PredictReply) error {
+	reply.Probs = []float32{0.5}
+	return nil
+}
+
+// TestPredictPoolFailsOver gives PredictPool the same one-retry failover
+// contract ReplicaPool has: a dead dense replica in rotation must not fail
+// callers while a healthy one remains, and the reply must be reset
+// between attempts.
+func TestPredictPoolFailsOver(t *testing.T) {
+	dead := &failingPredict{}
+	pool := NewPredictPool(dead, healthyPredict{})
+	req := &PredictRequest{BatchSize: 1, DenseDim: 1, Dense: []float32{0}}
+	for i := 0; i < 6; i++ {
+		var reply PredictReply
+		if err := pool.Predict(bg, req, &reply); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if len(reply.Probs) != 1 || reply.Probs[0] != 0.5 {
+			t.Fatalf("call %d: failover leaked a failed attempt's reply: %+v", i, reply)
+		}
+	}
+	if dead.calls == 0 {
+		t.Fatal("round robin never touched the dead replica")
+	}
+	allDead := NewPredictPool(&failingPredict{}, &failingPredict{})
+	var reply PredictReply
+	if err := allDead.Predict(bg, req, &reply); err == nil ||
+		!strings.Contains(err.Error(), "all 2 predict replicas failed") {
+		t.Fatalf("want all-replicas-failed error, got %v", err)
 	}
 }
 
@@ -88,15 +171,16 @@ func TestPredictSurvivesShardReplicaFailure(t *testing.T) {
 	defer ld.Close()
 	// Poison every pool with a dead replica alongside the healthy one;
 	// predictions must keep succeeding via failover.
-	for t2 := range ld.Pools {
-		for s := range ld.Pools[t2] {
-			ld.Pools[t2][s].Add(&flakyClient{failures: 1 << 30})
+	rt := ld.Table()
+	for t2 := range rt.Pools {
+		for s := range rt.Pools[t2] {
+			rt.Pools[t2][s].Add(&flakyClient{failures: 1 << 30})
 		}
 	}
 	for i := 0; i < 10; i++ {
 		req := makeRequest(cfg, gen, uint64(i))
 		var reply PredictReply
-		if err := ld.Predict(req, &reply); err != nil {
+		if err := ld.Predict(bg, req, &reply); err != nil {
 			t.Fatalf("query %d failed despite healthy replicas: %v", i, err)
 		}
 	}
@@ -110,26 +194,23 @@ func TestPredictFailsWhenShardUnavailable(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ld.Close()
-	// Replace table 0 shard 0's only replica with a dead one: the dense
-	// shard must surface the failure.
-	ld.Pools[0][0].Add(&flakyClient{failures: 1 << 30})
-	ld.Pools[0][0].Remove() // removes the healthy one (LIFO)
-	// The pool now contains healthy(original)+dead minus newest... make
-	// the state explicit: drain to one replica and verify behaviour by
-	// checking an actual failure occurs when all replicas are dead.
-	onlyDead := NewReplicaPool(&flakyClient{failures: 1 << 30})
-	ld.Pools[0][0] = onlyDead
-	// Rewire the dense shard's client for (0,0).
-	ldDenseRewire(t, ld, 0, 0, onlyDead)
+	// Publish a routing epoch whose (0,0) client is a dead pool: the
+	// dense shard must surface the failure. Building the broken epoch
+	// from the live one exercises the same path a bad repartition would.
+	rt := ld.Table()
+	clients := make([][]GatherClient, len(rt.Clients))
+	for t2 := range rt.Clients {
+		clients[t2] = append([]GatherClient(nil), rt.Clients[t2]...)
+	}
+	clients[0][0] = NewReplicaPool(&flakyClient{failures: 1 << 30})
+	broken, err := NewRoutingTable(rt.Epoch+1, cfg, rt.Pre, rt.Boundaries, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld.Router.Publish(broken)
 	req := makeRequest(cfg, gen, 1)
 	var reply PredictReply
-	if err := ld.Predict(req, &reply); err == nil {
+	if err := ld.Predict(bg, req, &reply); err == nil {
 		t.Fatal("want error when a required shard is unavailable")
 	}
-}
-
-// ldDenseRewire swaps the dense shard's gather client for (table, shard).
-func ldDenseRewire(t *testing.T, ld *LiveDeployment, table, shard int, c GatherClient) {
-	t.Helper()
-	ld.Dense.clients[table][shard] = c
 }

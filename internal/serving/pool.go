@@ -1,10 +1,14 @@
 package serving
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/embedding"
 )
 
 // ReplicaPool load-balances gather calls across replica clients in round
@@ -27,8 +31,9 @@ func NewReplicaPool(replicas ...GatherClient) *ReplicaPool {
 // Gather dispatches to the next replica (round robin). On failure it
 // retries the remaining replicas once each — the request-level failover a
 // service mesh performs when a pod dies mid-flight — and returns the last
-// error only if every replica fails.
-func (p *ReplicaPool) Gather(req *GatherRequest, reply *GatherReply) error {
+// error only if every replica fails. A canceled context stops the
+// failover loop immediately.
+func (p *ReplicaPool) Gather(ctx context.Context, req *GatherRequest, reply *GatherReply) error {
 	p.mu.RLock()
 	n := len(p.replicas)
 	if n == 0 {
@@ -42,8 +47,19 @@ func (p *ReplicaPool) Gather(req *GatherRequest, reply *GatherReply) error {
 	start := p.next.Add(1)
 	var lastErr error
 	for attempt := 0; attempt < n; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr == nil {
+				lastErr = err
+			}
+			break
+		}
+		// A failed attempt may have left partial fields behind; reset so
+		// the next replica's reply is never contaminated by the last one.
+		if attempt > 0 {
+			*reply = GatherReply{}
+		}
 		c := replicas[(start+uint64(attempt))%uint64(n)]
-		if err := c.Gather(req, reply); err != nil {
+		if err := c.Gather(ctx, req, reply); err != nil {
 			lastErr = err
 			continue
 		}
@@ -81,7 +97,8 @@ func (p *ReplicaPool) Size() int {
 
 var _ GatherClient = (*ReplicaPool)(nil)
 
-// PredictPool round-robins predict calls across dense-shard replicas.
+// PredictPool round-robins predict calls across dense-shard replicas with
+// the same one-retry failover ReplicaPool performs for gathers.
 type PredictPool struct {
 	mu       sync.RWMutex
 	replicas []PredictClient
@@ -95,17 +112,39 @@ func NewPredictPool(replicas ...PredictClient) *PredictPool {
 	return p
 }
 
-// Predict dispatches to the next replica.
-func (p *PredictPool) Predict(req *PredictRequest, reply *PredictReply) error {
+// Predict dispatches to the next replica (round robin), failing over to
+// the remaining replicas once each before reporting the last error.
+func (p *PredictPool) Predict(ctx context.Context, req *PredictRequest, reply *PredictReply) error {
 	p.mu.RLock()
 	n := len(p.replicas)
 	if n == 0 {
 		p.mu.RUnlock()
 		return fmt.Errorf("serving: predict pool is empty")
 	}
-	c := p.replicas[p.next.Add(1)%uint64(n)]
+	replicas := make([]PredictClient, n)
+	copy(replicas, p.replicas)
 	p.mu.RUnlock()
-	return c.Predict(req, reply)
+
+	start := p.next.Add(1)
+	var lastErr error
+	for attempt := 0; attempt < n; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr == nil {
+				lastErr = err
+			}
+			break
+		}
+		if attempt > 0 {
+			*reply = PredictReply{}
+		}
+		c := replicas[(start+uint64(attempt))%uint64(n)]
+		if err := c.Predict(ctx, req, reply); err != nil {
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("serving: all %d predict replicas failed: %w", n, lastErr)
 }
 
 // Add appends a replica.
@@ -139,13 +178,28 @@ type AutoscaledShard struct {
 
 // LiveAutoscaler runs a background control loop over shard pools — an
 // in-process stand-in for the Kubernetes HPA controller, used by the live
-// serving example.
+// serving example. Besides replica scaling it can own the live
+// repartition trigger: when the deployment's per-shard utility skew
+// (Fig. 14) exceeds the policy threshold, it re-plans and swaps the
+// partition epoch while traffic keeps flowing.
 type LiveAutoscaler struct {
 	Shards   []*AutoscaledShard
 	Interval time.Duration
 	// OfferedQPS reports the current aggregate load directed at a shard
 	// name; typically wired to the frontend's QPS meter.
 	OfferedQPS func(name string) float64
+
+	// Deployment, when set together with RepartitionPolicy and Replan,
+	// enables the skew-triggered live repartition loop.
+	Deployment *LiveDeployment
+	// RepartitionPolicy decides when a utility skew justifies a swap.
+	RepartitionPolicy *cluster.RepartitionPolicy
+	// Replan maps a freshly profiled window to new shard boundaries
+	// (typically the DP partitioner over the new CDF).
+	Replan func(stats []*embedding.AccessStats) ([]int64, error)
+	// OnRepartition, when set, observes every triggered swap (epoch that
+	// was retired, error if the swap failed).
+	OnRepartition func(retired int64, err error)
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -174,11 +228,12 @@ func (a *LiveAutoscaler) Start() {
 }
 
 // step evaluates every shard once (exported for deterministic tests via
-// Evaluate).
+// Evaluate) and then the repartition trigger.
 func (a *LiveAutoscaler) step() {
 	for _, s := range a.Shards {
 		_ = a.Evaluate(s)
 	}
+	_, _ = a.EvaluateRepartition(time.Now())
 }
 
 // Evaluate runs one scaling decision for a shard and returns the replica
@@ -201,6 +256,36 @@ func (a *LiveAutoscaler) Evaluate(s *AutoscaledShard) int {
 		s.Pool.Remove()
 	}
 	return s.Pool.Size()
+}
+
+// EvaluateRepartition runs one repartition decision at the given wall
+// time: when the current epoch's utility skew trips the policy, it
+// snapshots the live profiling window, re-plans boundaries and swaps the
+// epoch. Returns whether a swap was attempted.
+func (a *LiveAutoscaler) EvaluateRepartition(now time.Time) (bool, error) {
+	if a.Deployment == nil || a.RepartitionPolicy == nil || a.Replan == nil {
+		return false, nil
+	}
+	rt := a.Deployment.Table()
+	if !a.RepartitionPolicy.ShouldRepartition(rt.UtilitySkew(), rt.Served.Value(), now) {
+		return false, nil
+	}
+	stats := a.Deployment.SnapshotProfile()
+	if stats == nil {
+		return false, fmt.Errorf("serving: repartition triggered without a live profiling window")
+	}
+	boundaries, err := a.Replan(stats)
+	if err == nil {
+		err = a.Deployment.Repartition(context.Background(), stats, boundaries)
+	}
+	// Reopen the window for the next cycle regardless of outcome — a
+	// transient replan failure must not consume the only window and wedge
+	// the trigger loop for the rest of the process lifetime.
+	a.Deployment.StartProfile()
+	if a.OnRepartition != nil {
+		a.OnRepartition(rt.Epoch, err)
+	}
+	return true, err
 }
 
 // Stop halts the loop and waits for it to exit.

@@ -1,0 +1,198 @@
+package serving
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/model"
+)
+
+// This file is the epoch-versioned routing layer. A RoutingTable is one
+// immutable snapshot of the serving plan: the preprocessing remap, the
+// per-table shard boundaries, and a gather client for every shard. The
+// Router publishes tables through an atomic pointer; a Predict call
+// acquires exactly one epoch for its whole fan-out, so a concurrent plan
+// swap can never mix shards from two plans. Live repartitioning
+// (Sec. IV-B's re-profiling loop) builds the next epoch side-by-side,
+// publishes it atomically, then drains and retires the old one — traffic
+// keeps flowing throughout.
+
+// RoutingTable is one immutable epoch of the serving plan. All fields are
+// fixed at construction; only the metrics and the in-flight refcount
+// mutate, and those are concurrency-safe.
+type RoutingTable struct {
+	// Epoch numbers plans monotonically; epoch 0 is the BuildElastic plan.
+	Epoch int64
+	// Pre is the epoch's preprocessing output (hotness sort + remap). A
+	// nil Pre means requests are already in sorted-ID space.
+	Pre *Preprocessed
+	// Plan is the per-table boundary plan (all tables currently share it).
+	Plan []int64
+	// Boundaries[t] is table t's shard boundaries in sorted space.
+	Boundaries [][]int64
+	// Clients[t][s] services gathers for shard s of table t.
+	Clients [][]GatherClient
+	// Shards[t][s] is the primary service instance behind Clients[t][s]
+	// (owner of the epoch's utility/latency metrics).
+	Shards [][]*EmbeddingShard
+	// Pools[t][s] load-balances shard s of table t (same objects as
+	// Clients, concretely typed for replica scaling).
+	Pools [][]*ReplicaPool
+	// Served counts dense-shard Predict dispatches routed through this
+	// epoch — every dispatch lands in exactly one epoch's counter. With
+	// dynamic batching enabled a fused batch counts once, not once per
+	// fused client request.
+	Served *metrics.Counter
+
+	servers  []*RPCServer
+	closers  []io.Closer
+	inflight atomic.Int64
+}
+
+// NewRoutingTable validates plan geometry and wraps it as an immutable
+// epoch. boundaries[t] and clients[t][s] follow the DenseShard layout.
+func NewRoutingTable(epoch int64, cfg model.Config, pre *Preprocessed, boundaries [][]int64, clients [][]GatherClient) (*RoutingTable, error) {
+	if len(boundaries) != cfg.NumTables || len(clients) != cfg.NumTables {
+		return nil, fmt.Errorf("serving: routing table needs %d tables of boundaries/clients, got %d/%d",
+			cfg.NumTables, len(boundaries), len(clients))
+	}
+	for t := range boundaries {
+		if len(boundaries[t]) == 0 {
+			return nil, fmt.Errorf("serving: table %d has no shard boundaries", t)
+		}
+		if len(clients[t]) != len(boundaries[t]) {
+			return nil, fmt.Errorf("serving: table %d has %d clients for %d shards",
+				t, len(clients[t]), len(boundaries[t]))
+		}
+		if last := boundaries[t][len(boundaries[t])-1]; last != cfg.RowsPerTable {
+			return nil, fmt.Errorf("serving: table %d boundaries end at %d, want %d",
+				t, last, cfg.RowsPerTable)
+		}
+	}
+	return &RoutingTable{
+		Epoch:      epoch,
+		Pre:        pre,
+		Boundaries: boundaries,
+		Clients:    clients,
+		Served:     &metrics.Counter{},
+	}, nil
+}
+
+// NumShards returns the shard count of table t's plan.
+func (rt *RoutingTable) NumShards(t int) int { return len(rt.Boundaries[t]) }
+
+// Utility returns the Fig. 14-style memory utility of shard s of table t
+// accumulated within this epoch (0 when the table has no shard services).
+func (rt *RoutingTable) Utility(t, s int) float64 {
+	if t >= len(rt.Shards) || s >= len(rt.Shards[t]) {
+		return 0
+	}
+	return rt.Shards[t][s].Utility.Utility()
+}
+
+// UtilitySkew returns the widest per-shard utility spread (max - min)
+// across all tables of this epoch — the Fig. 14 signal the autoscaler
+// watches. A hotness-aligned plan is strongly skewed (the small hot shard
+// saturates while the big cold shard stays barely touched); drifted
+// hotness spreads accesses across boundaries and flattens the profile, so
+// a skew below the policy floor marks the plan as stale.
+func (rt *RoutingTable) UtilitySkew() float64 {
+	skew := 0.0
+	for t := range rt.Shards {
+		if len(rt.Shards[t]) == 0 {
+			continue
+		}
+		lo, hi := 1.0, 0.0
+		for s := range rt.Shards[t] {
+			u := rt.Utility(t, s)
+			if u < lo {
+				lo = u
+			}
+			if u > hi {
+				hi = u
+			}
+		}
+		if hi-lo > skew {
+			skew = hi - lo
+		}
+	}
+	return skew
+}
+
+// release decrements the in-flight count (paired with Router.Acquire).
+func (rt *RoutingTable) release() { rt.inflight.Add(-1) }
+
+// Drain blocks until every in-flight request that acquired this epoch has
+// released it, or the context expires. It does not stop new acquisitions —
+// publish the successor epoch first.
+func (rt *RoutingTable) Drain(ctx context.Context) error {
+	for rt.inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("serving: draining epoch %d: %w", rt.Epoch, ctx.Err())
+		case <-time.After(100 * time.Microsecond):
+		}
+	}
+	return nil
+}
+
+// Close tears down the epoch's transport resources (RPC client
+// connections, then servers). Call only after Drain.
+func (rt *RoutingTable) Close() {
+	for _, c := range rt.closers {
+		_ = c.Close()
+	}
+	rt.closers = nil
+	for _, s := range rt.servers {
+		_ = s.Close()
+	}
+	rt.servers = nil
+}
+
+// Router publishes routing-table epochs to the dense hot path through an
+// atomic pointer. Readers acquire a consistent snapshot per request;
+// writers swap plans without ever blocking readers.
+type Router struct {
+	current atomic.Pointer[RoutingTable]
+	// Swaps counts published plan swaps (epoch transitions).
+	Swaps *metrics.Counter
+}
+
+// NewRouter creates a router serving the given initial epoch.
+func NewRouter(rt *RoutingTable) *Router {
+	r := &Router{Swaps: &metrics.Counter{}}
+	r.current.Store(rt)
+	return r
+}
+
+// Load returns the current epoch without pinning it. Use Acquire on the
+// request path; Load is for observability (metrics, tests, examples).
+func (r *Router) Load() *RoutingTable { return r.current.Load() }
+
+// Acquire pins the current epoch for one request and returns it; the
+// caller must release() it when the fan-out completes. The increment-then-
+// recheck dance closes the race with Publish: if the table changed while
+// we were incrementing, the drain of the old epoch may already be
+// watching the count, so back off and pin the fresh table instead.
+func (r *Router) Acquire() *RoutingTable {
+	for {
+		rt := r.current.Load()
+		rt.inflight.Add(1)
+		if r.current.Load() == rt {
+			return rt
+		}
+		rt.release()
+	}
+}
+
+// Publish atomically installs next as the current epoch and returns the
+// superseded table (drain and close it to finish the swap).
+func (r *Router) Publish(next *RoutingTable) *RoutingTable {
+	prev := r.current.Swap(next)
+	r.Swaps.Inc(1)
+	return prev
+}

@@ -1,6 +1,7 @@
 package serving
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/rpc"
@@ -84,12 +85,16 @@ func (s *RPCServer) Close() error {
 	return err
 }
 
-// gatherRPC adapts a GatherClient to net/rpc's method signature.
+// gatherRPC adapts a GatherClient to net/rpc's method signature. net/rpc
+// methods carry no context, so the caller's deadline rides in the request
+// (GatherRequest.Deadline) and is reconstructed here.
 type gatherRPC struct{ svc GatherClient }
 
 // Gather is the exported RPC method.
 func (g *gatherRPC) Gather(req *GatherRequest, reply *GatherReply) error {
-	return g.svc.Gather(req, reply)
+	ctx, cancel := deadlineContext(req.Deadline)
+	defer cancel()
+	return g.svc.Gather(ctx, req, reply)
 }
 
 // predictRPC adapts a PredictClient to net/rpc's method signature.
@@ -97,7 +102,9 @@ type predictRPC struct{ svc PredictClient }
 
 // Predict is the exported RPC method.
 func (p *predictRPC) Predict(req *PredictRequest, reply *PredictReply) error {
-	return p.svc.Predict(req, reply)
+	ctx, cancel := deadlineContext(req.Deadline)
+	defer cancel()
+	return p.svc.Predict(ctx, req, reply)
 }
 
 // RPCGatherClient calls a remote gather service.
@@ -115,9 +122,38 @@ func DialGather(addr, name string) (*RPCGatherClient, error) {
 	return &RPCGatherClient{client: c, method: name + ".Gather"}, nil
 }
 
-// Gather implements GatherClient over the wire.
-func (c *RPCGatherClient) Gather(req *GatherRequest, reply *GatherReply) error {
-	return c.client.Call(c.method, req, reply)
+// rpcGo issues one net/rpc call with context cancellation: a canceled
+// context unblocks the caller immediately, while the in-flight RPC's
+// eventual reply lands in a private struct and is discarded — an
+// abandoned call can never race a reply the caller has moved on from.
+func rpcGo[Rep any](ctx context.Context, client *rpc.Client, method string, req any, reply *Rep) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	var inner Rep
+	call := client.Go(method, req, &inner, make(chan *rpc.Call, 1))
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case done := <-call.Done:
+		if done.Error != nil {
+			return done.Error
+		}
+		*reply = inner
+		return nil
+	}
+}
+
+// Gather implements GatherClient over the wire: the context deadline is
+// stamped onto the request (copy-on-write, the caller's request is never
+// mutated) and the call follows the rpcGo cancel contract.
+func (c *RPCGatherClient) Gather(ctx context.Context, req *GatherRequest, reply *GatherReply) error {
+	if dl := ctxDeadlineNanos(ctx); dl != 0 && dl != req.Deadline {
+		stamped := *req
+		stamped.Deadline = dl
+		req = &stamped
+	}
+	return rpcGo(ctx, c.client, c.method, req, reply)
 }
 
 // Close tears down the connection.
@@ -140,9 +176,15 @@ func DialPredict(addr, name string) (*RPCPredictClient, error) {
 	return &RPCPredictClient{client: c, method: name + ".Predict"}, nil
 }
 
-// Predict implements PredictClient over the wire.
-func (c *RPCPredictClient) Predict(req *PredictRequest, reply *PredictReply) error {
-	return c.client.Call(c.method, req, reply)
+// Predict implements PredictClient over the wire (same deadline/cancel
+// contract as RPCGatherClient.Gather).
+func (c *RPCPredictClient) Predict(ctx context.Context, req *PredictRequest, reply *PredictReply) error {
+	if dl := ctxDeadlineNanos(ctx); dl != 0 && dl != req.Deadline {
+		stamped := *req
+		stamped.Deadline = dl
+		req = &stamped
+	}
+	return rpcGo(ctx, c.client, c.method, req, reply)
 }
 
 // Close tears down the connection.

@@ -1,6 +1,7 @@
 package serving
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -11,6 +12,10 @@ import (
 	"repro/internal/tensor"
 	"repro/internal/workload"
 )
+
+// bg is the no-deadline context the plumbing tests thread through the
+// ctx-aware client interfaces.
+var bg = context.Background()
 
 // liveConfig returns a small but structurally complete DLRM for live
 // serving tests.
@@ -171,10 +176,10 @@ func TestShardedEquivalence(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		req := makeRequest(cfg, gen, uint64(i))
 		var monoReply, shardReply PredictReply
-		if err := mono.Predict(req, &monoReply); err != nil {
+		if err := mono.Predict(bg, req, &monoReply); err != nil {
 			t.Fatal(err)
 		}
-		if err := ld.Predict(req, &shardReply); err != nil {
+		if err := ld.Predict(bg, req, &shardReply); err != nil {
 			t.Fatal(err)
 		}
 		if len(monoReply.Probs) != cfg.BatchSize || len(shardReply.Probs) != cfg.BatchSize {
@@ -204,10 +209,10 @@ func TestShardedEquivalenceOverTCP(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		req := makeRequest(cfg, gen, uint64(i))
 		var monoReply, shardReply PredictReply
-		if err := mono.Predict(req, &monoReply); err != nil {
+		if err := mono.Predict(bg, req, &monoReply); err != nil {
 			t.Fatal(err)
 		}
-		if err := ld.Predict(req, &shardReply); err != nil {
+		if err := ld.Predict(bg, req, &shardReply); err != nil {
 			t.Fatal(err)
 		}
 		for j := range monoReply.Probs {
@@ -240,7 +245,7 @@ func TestPredictPoolOverTCP(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		req := makeRequest(cfg, gen, uint64(100+i))
 		var reply PredictReply
-		if err := pool.Predict(req, &reply); err != nil {
+		if err := pool.Predict(bg, req, &reply); err != nil {
 			t.Fatal(err)
 		}
 		if len(reply.Probs) != cfg.BatchSize {
@@ -280,7 +285,7 @@ func TestEmbeddingShardGather(t *testing.T) {
 	}
 	req := &GatherRequest{Indices: []int64{0, 5, 5}, Offsets: []int32{0, 1}}
 	var reply GatherReply
-	if err := shard.Gather(req, &reply); err != nil {
+	if err := shard.Gather(bg, req, &reply); err != nil {
 		t.Fatal(err)
 	}
 	if reply.BatchSize != 2 || reply.Dim != 4 {
@@ -300,11 +305,11 @@ func TestEmbeddingShardGather(t *testing.T) {
 	}
 	// Out-of-shard index errors.
 	bad := &GatherRequest{Indices: []int64{55}, Offsets: []int32{0}}
-	if err := shard.Gather(bad, &reply); err == nil {
+	if err := shard.Gather(bg, bad, &reply); err == nil {
 		t.Fatal("want range error (local index beyond shard)")
 	}
 	malformed := &GatherRequest{Indices: []int64{1}, Offsets: []int32{1}}
-	if err := shard.Gather(malformed, &reply); err == nil {
+	if err := shard.Gather(bg, malformed, &reply); err == nil {
 		t.Fatal("want batch validation error")
 	}
 }
@@ -317,7 +322,7 @@ func TestReplicaPoolRoundRobinAndScaling(t *testing.T) {
 	req := &GatherRequest{Indices: []int64{1}, Offsets: []int32{0}}
 	for i := 0; i < 4; i++ {
 		var reply GatherReply
-		if err := pool.Gather(req, &reply); err != nil {
+		if err := pool.Gather(bg, req, &reply); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -337,11 +342,11 @@ func TestReplicaPoolRoundRobinAndScaling(t *testing.T) {
 	}
 	empty := NewReplicaPool()
 	var reply GatherReply
-	if err := empty.Gather(req, &reply); err == nil {
+	if err := empty.Gather(bg, req, &reply); err == nil {
 		t.Fatal("want empty-pool error")
 	}
 	emptyPredict := NewPredictPool()
-	if err := emptyPredict.Predict(&PredictRequest{}, &PredictReply{}); err == nil {
+	if err := emptyPredict.Predict(bg, &PredictRequest{}, &PredictReply{}); err == nil {
 		t.Fatal("want empty predict pool error")
 	}
 }
@@ -422,7 +427,7 @@ func TestConcurrentPredict(t *testing.T) {
 			go func(r *PredictRequest) {
 				defer wg.Done()
 				var reply PredictReply
-				if err := ld.Predict(r, &reply); err != nil {
+				if err := ld.Predict(bg, r, &reply); err != nil {
 					errs <- err
 				}
 			}(req)
@@ -471,7 +476,7 @@ func TestShardUtilityTracking(t *testing.T) {
 	defer ld.Close()
 	for i := 0; i < 100; i++ {
 		var reply PredictReply
-		if err := ld.Predict(makeRequest(cfg, gen, uint64(i)), &reply); err != nil {
+		if err := ld.Predict(bg, makeRequest(cfg, gen, uint64(i)), &reply); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -509,7 +514,7 @@ func TestShardedEquivalenceProperty(t *testing.T) {
 		defer ld.Close()
 		req := makeRequest(cfg, gen, seed)
 		var a, b PredictReply
-		if mono.Predict(req, &a) != nil || ld.Predict(req, &b) != nil {
+		if mono.Predict(bg, req, &a) != nil || ld.Predict(bg, req, &b) != nil {
 			return false
 		}
 		for j := range a.Probs {

@@ -1,6 +1,7 @@
 package serving
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -64,9 +65,10 @@ func StressTest(client GatherClient, newReq func() *GatherRequest, opts StressOp
 	if client == nil || newReq == nil {
 		return nil, fmt.Errorf("serving: stress test needs a client and a request generator")
 	}
+	ctx := context.Background()
 	return stressRamp(func() error {
 		var reply GatherReply
-		return client.Gather(newReq(), &reply)
+		return client.Gather(ctx, newReq(), &reply)
 	}, opts)
 }
 
@@ -78,9 +80,10 @@ func StressPredict(client PredictClient, newReq func() *PredictRequest, opts Str
 	if client == nil || newReq == nil {
 		return nil, fmt.Errorf("serving: stress test needs a client and a request generator")
 	}
+	ctx := context.Background()
 	return stressRamp(func() error {
 		var reply PredictReply
-		return client.Predict(newReq(), &reply)
+		return client.Predict(ctx, newReq(), &reply)
 	}, opts)
 }
 

@@ -1,6 +1,7 @@
 package serving
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"testing"
@@ -25,7 +26,7 @@ func newCapacityLimitedClient(parallelism int, serviceTime time.Duration) *capac
 	}
 }
 
-func (c *capacityLimitedClient) Gather(req *GatherRequest, reply *GatherReply) error {
+func (c *capacityLimitedClient) Gather(ctx context.Context, req *GatherRequest, reply *GatherReply) error {
 	c.sem <- struct{}{}
 	time.Sleep(c.serviceTime)
 	<-c.sem
@@ -105,7 +106,7 @@ func TestStressTestValidation(t *testing.T) {
 
 type failingClient struct{}
 
-func (failingClient) Gather(*GatherRequest, *GatherReply) error {
+func (failingClient) Gather(context.Context, *GatherRequest, *GatherReply) error {
 	return fmt.Errorf("injected failure")
 }
 

@@ -9,7 +9,9 @@
 package serving
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/embedding"
 )
@@ -21,6 +23,11 @@ type GatherRequest struct {
 	Shard   int
 	Indices []int64
 	Offsets []int32
+	// Deadline carries the caller's context deadline across process
+	// boundaries as unix nanoseconds (0 = none). The TCP transport stamps
+	// it on the way out and reconstructs the context server-side, so a
+	// frontend deadline bounds every downstream gather.
+	Deadline int64
 }
 
 // GatherReply carries the pooled partial sums: BatchSize rows of Dim
@@ -40,13 +47,17 @@ type TableBatch struct {
 // PredictRequest is a full inference query: the dense features for every
 // input plus, per table, the sparse lookup batch. Index space depends on
 // the receiving service: the monolith expects original table IDs; the
-// ElasticRec dense shard expects hotness-sorted IDs (the preprocessing
-// remap is applied at the frontend, see Preprocessed.RemapBatch).
+// ElasticRec dense shard expects original IDs too when its routing table
+// carries a preprocessing remap (the remap is applied inside the epoch
+// snapshot, so batching and plan swaps can never mix ID spaces), and
+// hotness-sorted IDs when it does not.
 type PredictRequest struct {
 	BatchSize int
 	DenseDim  int
 	Dense     []float32 // BatchSize x DenseDim, row-major
 	Tables    []TableBatch
+	// Deadline mirrors GatherRequest.Deadline for the predict wire format.
+	Deadline int64
 }
 
 // PredictReply carries one click probability per input.
@@ -79,12 +90,33 @@ func (r *PredictRequest) Validate(numTables int) error {
 }
 
 // GatherClient is anything that can service a gather call: a local shard,
-// an RPC connection, or a load-balanced replica pool.
+// an RPC connection, or a load-balanced replica pool. Implementations
+// honour ctx cancellation and deadlines: a canceled context aborts the
+// call (locally, or unblocks the caller on the TCP transport).
 type GatherClient interface {
-	Gather(req *GatherRequest, reply *GatherReply) error
+	Gather(ctx context.Context, req *GatherRequest, reply *GatherReply) error
 }
 
-// PredictClient is anything that can service a predict call.
+// PredictClient is anything that can service a predict call; ctx follows
+// the GatherClient contract.
 type PredictClient interface {
-	Predict(req *PredictRequest, reply *PredictReply) error
+	Predict(ctx context.Context, req *PredictRequest, reply *PredictReply) error
+}
+
+// ctxDeadlineNanos converts a context deadline to the wire encoding
+// (unix nanoseconds, 0 = none).
+func ctxDeadlineNanos(ctx context.Context) int64 {
+	if dl, ok := ctx.Deadline(); ok {
+		return dl.UnixNano()
+	}
+	return 0
+}
+
+// deadlineContext reconstructs a context from the wire encoding. The
+// returned cancel func must always be called.
+func deadlineContext(nanos int64) (context.Context, context.CancelFunc) {
+	if nanos > 0 {
+		return context.WithDeadline(context.Background(), time.Unix(0, nanos))
+	}
+	return context.WithCancel(context.Background())
 }
