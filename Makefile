@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short race race-repartition bench bench-smoke bench-json fmt fmt-check vet ci
+.PHONY: build test test-short race race-repartition bench bench-smoke bench-json fmt fmt-check vet lint-doc ci
 
 build:
 	$(GO) build ./...
@@ -51,4 +51,9 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet build test-short race race-repartition bench-smoke
+# Documentation lint: every package must carry a godoc package comment
+# (see docs/ARCHITECTURE.md for the layer map the comments plug into).
+lint-doc:
+	$(GO) run ./cmd/doccheck ./internal ./cmd ./examples
+
+ci: fmt-check vet lint-doc build test-short race race-repartition bench-smoke

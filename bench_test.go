@@ -590,6 +590,89 @@ func BenchmarkServing_ConcurrentPredict(b *testing.B) {
 	}
 }
 
+// multiModelBenchFixture builds a two-variant multi-model deployment plus
+// per-variant request pools for closed-loop load generation.
+func multiModelBenchFixture(b *testing.B) (*serving.MultiDeployment, map[string][]*serving.PredictRequest) {
+	b.Helper()
+	specs := []struct {
+		name       string
+		cfg        model.Config
+		seed       uint64
+		boundaries []int64
+	}{
+		{"hot", model.RM1().WithRows(50_000).WithName("rm1-mm-hot"), 9, []int64{5_000, 20_000, 50_000}},
+		{"slow", model.RM1().WithRows(20_000).WithName("rm1-mm-slow"), 1009, []int64{2_000, 8_000, 20_000}},
+	}
+	var modelSpecs []serving.ModelSpec
+	reqs := map[string][]*serving.PredictRequest{}
+	for _, sp := range specs {
+		cfg := sp.cfg
+		cfg.NumTables = 4
+		m, err := model.New(cfg, sp.seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := workload.NewPowerLawSampler(cfg.RowsPerTable, cfg.LocalityP, 0.9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gen, err := workload.NewQueryGenerator(s, nil, cfg.BatchSize, cfg.Pooling, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		perTable := make([][]*embedding.Batch, cfg.NumTables)
+		for t := range perTable {
+			for q := 0; q < 20; q++ {
+				perTable[t] = append(perTable[t], gen.Next())
+			}
+		}
+		stats, err := serving.CollectStats(cfg, perTable)
+		if err != nil {
+			b.Fatal(err)
+		}
+		modelSpecs = append(modelSpecs, serving.ModelSpec{
+			Name: sp.name, Model: m, Stats: stats, Boundaries: sp.boundaries,
+		})
+		rng := workload.NewRNG(77)
+		for i := 0; i < 32; i++ {
+			req := &serving.PredictRequest{
+				Model:     sp.name,
+				BatchSize: cfg.BatchSize,
+				DenseDim:  cfg.DenseInputDim,
+				Dense:     make([]float32, cfg.BatchSize*cfg.DenseInputDim),
+			}
+			for j := range req.Dense {
+				req.Dense[j] = float32(rng.Float64()*2 - 1)
+			}
+			for t := 0; t < cfg.NumTables; t++ {
+				batch := gen.Next()
+				req.Tables = append(req.Tables, serving.TableBatch{Indices: batch.Indices, Offsets: batch.Offsets})
+			}
+			reqs[sp.name] = append(reqs[sp.name], req)
+		}
+	}
+	md, err := serving.BuildMulti(modelSpecs...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return md, reqs
+}
+
+// BenchmarkServing_MultiModelPredict measures per-variant serving through
+// the multi-model frontend: both variants live behind one router while
+// each sub-bench drives one variant closed-loop with 4 clients. The
+// "model=NAME" segment feeds cmd/benchjson's per-model BENCH_serving.json
+// entries, so each variant's qps trajectory is diffable run-over-run.
+func BenchmarkServing_MultiModelPredict(b *testing.B) {
+	md, reqs := multiModelBenchFixture(b)
+	defer md.Close()
+	for _, name := range md.Models() {
+		b.Run("model="+name+"/clients=4", func(b *testing.B) {
+			runClosedLoopPredict(b, md, reqs[name], 4)
+		})
+	}
+}
+
 // BenchmarkAblation_PartitionScheme compares ElasticRec's row-wise DP
 // against table-wise and column-wise partitioning under the same cost
 // model (related-work discussion), reporting expected per-table GB.

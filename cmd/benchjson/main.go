@@ -20,7 +20,13 @@ import (
 
 // BenchResult is one benchmark line, flattened.
 type BenchResult struct {
-	Name        string  `json:"name"`
+	Name string `json:"name"`
+	// Model is the DLRM variant the row measures, extracted from a
+	// "model=NAME" path segment of multi-model sub-benchmarks (e.g.
+	// BenchmarkServing_MultiModelPredict/model=hot/clients=4). Empty for
+	// single-model rows, so per-model serving trajectories can be
+	// filtered and diffed run-over-run.
+	Model       string  `json:"model,omitempty"`
 	Iterations  int64   `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
@@ -54,6 +60,7 @@ func parseBench(r io.Reader) ([]BenchResult, error) {
 			// Strip the -GOMAXPROCS suffix so names are stable across
 			// machines.
 			Name:       trimProcSuffix(fields[0]),
+			Model:      modelSegment(trimProcSuffix(fields[0])),
 			Iterations: iters,
 		}
 		// The remainder is value/unit pairs.
@@ -81,6 +88,17 @@ func parseBench(r io.Reader) ([]BenchResult, error) {
 		out = append(out, res)
 	}
 	return out, sc.Err()
+}
+
+// modelSegment extracts the variant name from a "model=NAME" path segment
+// of a sub-benchmark name ("" when the bench is not per-model).
+func modelSegment(name string) string {
+	for _, seg := range strings.Split(name, "/") {
+		if m, ok := strings.CutPrefix(seg, "model="); ok {
+			return m
+		}
+	}
+	return ""
 }
 
 // trimProcSuffix drops the trailing -N GOMAXPROCS marker from a bench

@@ -63,3 +63,35 @@ func TestTrimProcSuffix(t *testing.T) {
 		}
 	}
 }
+
+func TestModelSegment(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkServing_MultiModelPredict/model=hot/clients=4": "hot",
+		"BenchmarkServing_MultiModelPredict/clients=4/model=b":   "b",
+		"BenchmarkServing_ConcurrentPredict/unbatched/clients=1": "",
+		"BenchmarkFoo": "",
+	} {
+		if got := modelSegment(in); got != want {
+			t.Fatalf("modelSegment(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParseBenchPerModelEntries(t *testing.T) {
+	const multi = `BenchmarkServing_MultiModelPredict/model=hot/clients=4-8     100   200000 ns/op   512.5 qps
+BenchmarkServing_MultiModelPredict/model=slow/clients=4-8    100   400000 ns/op   256.25 qps
+`
+	results, err := parseBench(strings.NewReader(multi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(results))
+	}
+	if results[0].Model != "hot" || results[1].Model != "slow" {
+		t.Fatalf("models = %q/%q, want hot/slow", results[0].Model, results[1].Model)
+	}
+	if results[0].QPS != 512.5 || results[1].QPS != 256.25 {
+		t.Fatalf("qps = %v/%v", results[0].QPS, results[1].QPS)
+	}
+}

@@ -1,0 +1,93 @@
+// Command doccheck is the documentation lint CI runs: it fails when any
+// Go package under the given root directories lacks a godoc package
+// comment. Go's own tooling treats the package comment as the package's
+// one-paragraph contract (it heads the package's godoc page), so this
+// check keeps every package self-describing as the codebase grows —
+// docs/ARCHITECTURE.md gives the map, the package comments give the
+// per-package detail.
+//
+// Usage:
+//
+//	doccheck [root ...]   (default: ./internal ./cmd ./examples)
+//
+// A package passes when at least one of its non-test .go files carries a
+// doc comment immediately above its package clause. Test-only directories
+// are skipped. Exit status 1 lists every undocumented package.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// checkDir reports whether the directory holds non-test Go files and, if
+// so, whether any of them documents the package.
+func checkDir(dir string) (hasGo, documented bool, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, false, err
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		hasGo = true
+		// PackageClauseOnly stops after the package line; the doc comment
+		// precedes it, so this stays cheap on large files.
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			return hasGo, false, err
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return true, true, nil
+		}
+	}
+	return hasGo, false, nil
+}
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"./internal", "./cmd", "./examples"}
+	}
+	var missing []string
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			hasGo, documented, err := checkDir(path)
+			if err != nil {
+				return err
+			}
+			if hasGo && !documented {
+				missing = append(missing, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		fmt.Fprintln(os.Stderr, "doccheck: packages without a godoc package comment:")
+		for _, m := range missing {
+			fmt.Fprintf(os.Stderr, "  %s\n", m)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("doccheck: every package has a package comment")
+}

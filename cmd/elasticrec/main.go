@@ -8,7 +8,7 @@
 //
 // Experiments: tables, fig3, fig5, fig6, fig9, fig12a, fig12b, fig12c,
 // fig12d, fig13, fig14, fig15, fig16, fig17, fig18, fig19, fig20,
-// schemes, stress, repartition.
+// schemes, stress, repartition, multimodel.
 package main
 
 import (
@@ -48,6 +48,7 @@ func experiments() []experiment {
 		{"schemes", "Extension: row-wise vs column-/table-wise partitioning", core.SchemesTable},
 		{"stress", "Sec. IV-D: live shard QPSmax stress test", core.StressTable},
 		{"repartition", "Sec. IV-B: closed profiling/repartition/serve loop", core.RepartitionTable},
+		{"multimodel", "Multi-model routing: one frontend, independently repartitioned variants", core.MultiModelTable},
 	}
 }
 

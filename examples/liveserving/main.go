@@ -1,15 +1,21 @@
-// Liveserving: real microservices on loopback TCP with a live autoscaler
-// and autonomous zero-downtime repartitioning.
+// Liveserving: real microservices on loopback TCP serving TWO DLRM
+// variants behind one frontend, with a live autoscaler and autonomous
+// zero-downtime repartitioning per variant.
 //
-// Every embedding shard runs behind its own net/rpc server (the stand-in
-// for the paper's gRPC mesh); a round-robin replica pool plays Linkerd; an
-// HPA-style control loop watches the offered load and scales shard
-// replicas in and out while a Poisson client drives stepped traffic.
-// Mid-run the traffic hotness drifts; the control loop notices the
-// flattened per-shard utility profile (Fig. 14), re-plans from the live
-// profiling window and swaps the partition epoch while requests keep
-// flowing — the closed profiling -> repartition -> serve loop of
-// Sec. IV-B.
+// Every embedding shard of both variants runs behind its own net/rpc
+// server (the stand-in for the paper's gRPC mesh); a round-robin replica
+// pool plays Linkerd; an HPA-style control loop watches the offered load
+// and scales shard replicas in and out while a Poisson client drives
+// stepped traffic addressed to both variants through a single exported
+// predict endpoint (requests carry their model name on the wire).
+//
+// The variants' hot sets drift at different times: variant "hot" drifts a
+// third of the way in, variant "slow" drifts at two thirds. The control
+// loop watches each variant's per-shard utility profile (Fig. 14)
+// independently, re-plans the stale one from its own live profiling
+// window and swaps only that variant's partition epoch while requests for
+// both keep flowing — the closed profiling -> repartition -> serve loop of
+// Sec. IV-B, run per model on independent cadences.
 //
 // Run with: go run ./examples/liveserving [-duration 12s]
 package main
@@ -29,20 +35,18 @@ import (
 	"repro/internal/workload"
 )
 
-func main() {
-	duration := flag.Duration("duration", 12*time.Second, "how long to drive traffic")
-	flag.Parse()
+// variant is one DLRM model's client-side state: its geometry, drifting
+// sampler and query generator.
+type variant struct {
+	name    string
+	cfg     model.Config
+	drift   *workload.DriftingSampler
+	gen     *workload.QueryGenerator
+	driftAt time.Duration // when this variant's hot set migrates
+	served  int
+}
 
-	cfg := model.RM1().WithRows(20_000).WithName("rm1-live")
-	cfg.NumTables = 4 // keep the socket count friendly
-	m, err := model.New(cfg, 77)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// Profile, then build a 3-shard deployment over loopback TCP. The
-	// sampler is wrapped in a drifting shim so the hot set can migrate
-	// mid-run.
+func newVariant(name string, cfg model.Config, seed uint64, driftAt time.Duration) *variant {
 	sampler, err := workload.NewPowerLawSampler(cfg.RowsPerTable, cfg.LocalityP, 0.9)
 	if err != nil {
 		log.Fatal(err)
@@ -52,35 +56,116 @@ func main() {
 		log.Fatal(err)
 	}
 	gen, err := workload.NewQueryGenerator(drift, workload.NewShuffledMapping(cfg.RowsPerTable, 3),
-		cfg.BatchSize, cfg.Pooling, 5)
+		cfg.BatchSize, cfg.Pooling, seed)
 	if err != nil {
 		log.Fatal(err)
 	}
-	perTable := make([][]*embedding.Batch, cfg.NumTables)
+	return &variant{name: name, cfg: cfg, drift: drift, gen: gen, driftAt: driftAt}
+}
+
+// window profiles the variant's current traffic for the initial plan.
+func (v *variant) window(queries int) []*embedding.AccessStats {
+	perTable := make([][]*embedding.Batch, v.cfg.NumTables)
 	for t := range perTable {
-		for q := 0; q < 100; q++ {
-			perTable[t] = append(perTable[t], gen.Next())
+		for q := 0; q < queries; q++ {
+			perTable[t] = append(perTable[t], v.gen.Next())
 		}
 	}
-	stats, err := serving.CollectStats(cfg, perTable)
+	stats, err := serving.CollectStats(v.cfg, perTable)
 	if err != nil {
 		log.Fatal(err)
 	}
-	boundaries := []int64{2_000, 8_000, cfg.RowsPerTable}
-	ld, err := serving.BuildElastic(m, stats, boundaries, serving.BuildOptions{
-		Transport: serving.TransportTCP,
-		Batching:  &serving.BatcherOptions{MaxBatch: 3 * cfg.BatchSize, MaxDelay: 500 * time.Microsecond},
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer ld.Close()
-	fmt.Printf("deployed %d embedding shards x %d tables over TCP microservices\n",
-		len(boundaries), cfg.NumTables)
+	return stats
+}
 
-	// Export the batched predict frontend itself over net/rpc and drive
-	// all traffic through the wire, like a real client would.
-	addr, err := ld.ExportPredict("Frontend")
+// request builds one predict request addressed to this variant.
+func (v *variant) request() *serving.PredictRequest {
+	req := &serving.PredictRequest{
+		Model:     v.name,
+		BatchSize: v.cfg.BatchSize,
+		DenseDim:  v.cfg.DenseInputDim,
+		Dense:     make([]float32, v.cfg.BatchSize*v.cfg.DenseInputDim),
+	}
+	for t := 0; t < v.cfg.NumTables; t++ {
+		b := v.gen.Next()
+		req.Tables = append(req.Tables, serving.TableBatch{Indices: b.Indices, Offsets: b.Offsets})
+	}
+	return req
+}
+
+// proportionalReplan cuts the freshly profiled CDF at 70% and 95% access
+// coverage, mirroring what the DP chooses for these geometries without
+// re-fitting the cost model inline.
+func proportionalReplan(rows int64) func([]*embedding.AccessStats) ([]int64, error) {
+	return func(window []*embedding.AccessStats) ([]int64, error) {
+		cdf := embedding.NewCDF(window[0])
+		cuts := []int64{}
+		for _, p := range []float64{0.70, 0.95} {
+			var j int64
+			for j = 1; j < cdf.Rows() && cdf.At(j) < p; j++ {
+			}
+			cuts = append(cuts, j)
+		}
+		return append(cuts, rows), nil
+	}
+}
+
+func main() {
+	duration := flag.Duration("duration", 12*time.Second, "how long to drive traffic")
+	flag.Parse()
+
+	cfgHot := model.RM1().WithRows(20_000).WithName("rm1-hot")
+	cfgHot.NumTables = 3 // keep the socket count friendly
+	cfgSlow := model.RM1().WithRows(12_000).WithName("rm1-slow")
+	cfgSlow.NumTables = 2
+	cfgSlow.BatchSize = 2
+
+	hot := newVariant("hot", cfgHot, 5, *duration/4)
+	slow := newVariant("slow", cfgSlow, 1005, 2**duration/3)
+	variants := []*variant{hot, slow}
+
+	mHot, err := model.New(cfgHot, 77)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mSlow, err := model.New(cfgSlow, 1077)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Both variants behind ONE router and ONE frontend, each shard a TCP
+	// microservice, each variant with its own dynamic batcher.
+	md, err := serving.BuildMulti(
+		serving.ModelSpec{
+			Name: hot.name, Model: mHot, Stats: hot.window(100),
+			Boundaries: []int64{2_000, 8_000, cfgHot.RowsPerTable},
+			Options: serving.BuildOptions{
+				Transport: serving.TransportTCP,
+				Batching:  &serving.BatcherOptions{MaxBatch: 3 * cfgHot.BatchSize, MaxDelay: 500 * time.Microsecond},
+			},
+		},
+		serving.ModelSpec{
+			Name: slow.name, Model: mSlow, Stats: slow.window(100),
+			Boundaries: []int64{1_500, 5_000, cfgSlow.RowsPerTable},
+			Options: serving.BuildOptions{
+				Transport: serving.TransportTCP,
+				Batching:  &serving.BatcherOptions{MaxBatch: 3 * cfgSlow.BatchSize, MaxDelay: 500 * time.Microsecond},
+			},
+		},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer md.Close()
+	for _, v := range variants {
+		ld, _ := md.Deployment(v.name)
+		fmt.Printf("model %q: %d embedding shards x %d tables over TCP microservices\n",
+			v.name, ld.Table().NumShards(0), v.cfg.NumTables)
+	}
+
+	// Export the multi-model dispatching frontend over net/rpc and drive
+	// all traffic through the wire; the Model field routes each request.
+	addr, err := md.ExportPredict("Frontend")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -89,35 +174,38 @@ func main() {
 		log.Fatal(err)
 	}
 	defer frontend.Close()
-	fmt.Printf("predict frontend (dynamic batching) exported at %s\n", addr)
+	fmt.Printf("multi-model predict frontend (dynamic batching per model) exported at %s\n", addr)
 
-	// Live autoscaler: every shard of the current epoch scales on the
-	// offered QPS, with the hotter shards given lower per-replica QPSmax
-	// thresholds. buildScaled is re-run after every epoch swap so the
-	// control loop always scales the epoch that is actually serving.
+	// Live autoscaler: every shard of every variant's current epoch scales
+	// on the offered QPS. buildScaled is re-run after every epoch swap so
+	// the control loop always scales the epochs that are actually serving.
 	var mu sync.Mutex
 	currentQPS := 0.0
 	buildScaled := func() []*serving.AutoscaledShard {
-		rt := ld.Table()
 		scaled := []*serving.AutoscaledShard{}
-		for t := 0; t < cfg.NumTables; t++ {
-			for s := 0; s < rt.NumShards(t); s++ {
-				t, s := t, s
-				lo := int64(0)
-				if s > 0 {
-					lo = rt.Boundaries[t][s-1]
+		for _, v := range variants {
+			ld, _ := md.Deployment(v.name)
+			rt := ld.Table()
+			for t := 0; t < v.cfg.NumTables; t++ {
+				for s := 0; s < rt.NumShards(t); s++ {
+					t, s := t, s
+					lo := int64(0)
+					if s > 0 {
+						lo = rt.Boundaries[t][s-1]
+					}
+					hi := rt.Boundaries[t][s]
+					sorted := rt.Pre.Sorted[t]
+					scaled = append(scaled, &serving.AutoscaledShard{
+						Name:   fmt.Sprintf("%s-e%d-t%d-s%d", v.name, rt.Epoch, t, s),
+						Model:  v.name,
+						Pool:   rt.Pools[t][s],
+						QPSMax: 20 * float64(s+1), // hotter shards saturate sooner
+						Spawn: func() (serving.GatherClient, error) {
+							return serving.NewEmbeddingShard(t, s, sorted, lo, hi)
+						},
+						MaxReplicas: 6,
+					})
 				}
-				hi := rt.Boundaries[t][s]
-				sorted := rt.Pre.Sorted[t]
-				scaled = append(scaled, &serving.AutoscaledShard{
-					Name:   fmt.Sprintf("e%d-t%d-s%d", rt.Epoch, t, s),
-					Pool:   rt.Pools[t][s],
-					QPSMax: 20 * float64(s+1), // hotter shards saturate sooner
-					Spawn: func() (serving.GatherClient, error) {
-						return serving.NewEmbeddingShard(t, s, sorted, lo, hi)
-					},
-					MaxReplicas: 6,
-				})
 			}
 		}
 		return scaled
@@ -130,49 +218,49 @@ func main() {
 			defer mu.Unlock()
 			return currentQPS
 		},
-		Deployment: ld,
-		RepartitionPolicy: &cluster.RepartitionPolicy{
-			MinSkew: 0.35,
-			// Dense dispatches, not client requests: the batcher fuses
-			// ~3 requests per forward batch at this MaxBatch, so 40
-			// dispatches ≈ 120 client requests of warm-up.
-			MinRequests: 40,
-			MinInterval: *duration, // at most one swap per run
-		},
-		Replan: func(window []*embedding.AccessStats) ([]int64, error) {
-			// Re-plan proportionally to the freshly profiled CDF: cut at
-			// 70% and 95% access coverage, mirroring what the DP chooses
-			// for this geometry without re-fitting the cost model inline.
-			cdf := embedding.NewCDF(window[0])
-			cuts := []int64{}
-			for _, p := range []float64{0.70, 0.95} {
-				var j int64
-				for j = 1; j < cdf.Rows() && cdf.At(j) < p; j++ {
+	}
+	// One repartition loop per variant, sharing one policy: firing state
+	// is per model, so the variants profile and swap on independent
+	// cadences — "hot" repartitioning mid-run never consumes "slow"'s
+	// interval, and vice versa.
+	policy := &cluster.RepartitionPolicy{
+		MinSkew: 0.35,
+		// Dense dispatches, not client requests: the batcher fuses ~3
+		// requests per forward batch at this MaxBatch, so 25 dispatches ≈
+		// 75 client requests of warm-up per variant.
+		MinRequests: 25,
+		MinInterval: *duration, // at most one swap per variant per run
+	}
+	for _, v := range variants {
+		v := v
+		ld, _ := md.Deployment(v.name)
+		as.Repartitions = append(as.Repartitions, &serving.ModelRepartition{
+			Model:      v.name,
+			Deployment: ld,
+			Policy:     policy,
+			Replan:     proportionalReplan(v.cfg.RowsPerTable),
+			// After a swap, point the replica-scaling loop at the new
+			// epoch's pools (the autoscaler reopens the profiling window
+			// itself). The callback runs on the control-loop goroutine,
+			// which is the only reader of as.Shards.
+			OnRepartition: func(name string, retired int64, err error) {
+				if err != nil {
+					log.Printf("repartition %s: %v", name, err)
+					return
 				}
-				cuts = append(cuts, j)
-			}
-			return append(cuts, cfg.RowsPerTable), nil
-		},
+				as.Shards = buildScaled()
+				fmt.Printf("-> repartitioned %q live: retired epoch %d, serving epoch %d with boundaries %v (other variants untouched)\n",
+					name, retired, md.Epoch(name), ld.Boundaries())
+			},
+		})
+		ld.StartProfile()
 	}
-	// After a swap, point the replica-scaling loop at the new epoch's
-	// pools (the autoscaler reopens the profiling window itself). The
-	// callback runs on the control-loop goroutine, which is the only
-	// reader of as.Shards.
-	as.OnRepartition = func(retired int64, err error) {
-		if err != nil {
-			log.Printf("repartition failed: %v", err)
-			return
-		}
-		as.Shards = buildScaled()
-		fmt.Printf("-> repartitioned live: retired epoch %d, serving epoch %d with boundaries %v\n",
-			retired, ld.Epoch(), ld.Boundaries())
-	}
-	ld.StartProfile()
 	as.Start()
 	defer as.Stop()
 
-	// Drive stepped Poisson traffic: low -> high -> low; the hot set
-	// drifts halfway across the table a third of the way in.
+	// Drive stepped Poisson traffic: low -> high -> low; each variant's
+	// hot set drifts at its own time, and every third query addresses the
+	// "slow" variant.
 	pattern, err := workload.NewTrafficPattern([]workload.TrafficPhase{
 		{Start: 0, TargetQPS: 10},
 		{Start: *duration / 3, TargetQPS: 60},
@@ -184,35 +272,33 @@ func main() {
 	arrivals := workload.NewPoissonArrivals(pattern, 9)
 	start := time.Now()
 	var wg sync.WaitGroup
-	served := 0
-	drifted := false
+	total := 0
 	for {
 		at, ok := arrivals.Next()
 		if !ok {
 			break
 		}
 		time.Sleep(time.Until(start.Add(at)))
-		if !drifted && at > *duration/3 {
-			drift.SetShift(int64(cfg.RowsPerTable / 2))
-			drifted = true
-			fmt.Printf("-> hotness drift injected at %v\n", at.Round(time.Millisecond))
+		for _, v := range variants {
+			if v.driftAt > 0 && at > v.driftAt {
+				v.drift.SetShift(v.cfg.RowsPerTable / 2)
+				v.driftAt = 0
+				fmt.Printf("-> hotness drift injected into %q at %v\n", v.name, at.Round(time.Millisecond))
+			}
 		}
 		mu.Lock()
 		currentQPS = pattern.QPSAt(at)
 		mu.Unlock()
+		v := variants[0]
+		if total%3 == 2 {
+			v = variants[1]
+		}
+		total++
+		v.served++
 		wg.Add(1)
-		served++
-		// Build the request on the arrival loop (the generator is not
+		// Build the request on the arrival loop (the generators are not
 		// concurrency-safe), then issue it from its own client goroutine.
-		req := &serving.PredictRequest{
-			BatchSize: cfg.BatchSize,
-			DenseDim:  cfg.DenseInputDim,
-			Dense:     make([]float32, cfg.BatchSize*cfg.DenseInputDim),
-		}
-		for t := 0; t < cfg.NumTables; t++ {
-			b := gen.Next()
-			req.Tables = append(req.Tables, serving.TableBatch{Indices: b.Indices, Offsets: b.Offsets})
-		}
+		req := v.request()
 		go func() {
 			defer wg.Done()
 			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -224,25 +310,30 @@ func main() {
 		}()
 	}
 	wg.Wait()
+	// Stop the control loop before the summary so a last-tick swap lands
+	// (Stop is idempotent; the deferred call becomes a no-op).
+	as.Stop()
 
-	fmt.Printf("served %d queries over %v (%d epoch swaps)\n",
-		served, time.Since(start).Round(time.Millisecond), ld.Router.Swaps.Value())
-	fmt.Printf("dense shard: P50=%v P95=%v\n",
-		ld.Dense.Latency.Quantile(0.50).Round(time.Microsecond),
-		ld.Dense.Latency.Quantile(0.95).Round(time.Microsecond))
-	fmt.Printf("batcher: %d requests fused into %d batches (mean batch %.1f inputs)\n",
-		ld.Batcher.Requests.Value(), ld.Batcher.Batches.Value(), ld.Batcher.BatchSizes.Mean())
-	fmt.Printf("batcher batch-size histogram: %s\n", ld.Batcher.BatchSizes)
-	fmt.Printf("batcher queue-depth histogram: %s\n", ld.Batcher.QueueDepth)
-	rt := ld.Table()
-	for s := 0; s < rt.NumShards(0); s++ {
-		fmt.Printf("epoch %d table0 shard %d: replicas=%d utility=%.1f%% P95=%v\n",
-			rt.Epoch, s+1, rt.Pools[0][s].Size(), 100*rt.Utility(0, s),
-			rt.Shards[0][s].Latency.Quantile(0.95).Round(time.Microsecond))
-	}
-	for _, label := range ld.EpochUtility.Labels() {
-		if v, ok := ld.EpochUtility.Value(label); ok {
-			fmt.Printf("retired gauge %s = %.1f%%\n", label, 100*v)
+	fmt.Printf("served %d queries over %v (%d epoch swaps across %d models)\n",
+		total, time.Since(start).Round(time.Millisecond), md.Router.Swaps.Value(), len(variants))
+	for _, v := range variants {
+		ld, _ := md.Deployment(v.name)
+		rt := ld.Table()
+		fmt.Printf("model %q: %d queries, epoch %d (%d swaps), dense P50=%v P95=%v\n",
+			v.name, v.served, rt.Epoch, md.Router.SwapsFor(v.name),
+			ld.Dense.Latency.Quantile(0.50).Round(time.Microsecond),
+			ld.Dense.Latency.Quantile(0.95).Round(time.Microsecond))
+		fmt.Printf("model %q batcher: %d requests fused into %d batches (mean batch %.1f inputs)\n",
+			v.name, ld.Batcher.Requests.Value(), ld.Batcher.Batches.Value(), ld.Batcher.BatchSizes.Mean())
+		for s := 0; s < rt.NumShards(0); s++ {
+			fmt.Printf("model %q epoch %d table0 shard %d: replicas=%d utility=%.1f%% P95=%v\n",
+				v.name, rt.Epoch, s+1, rt.Pools[0][s].Size(), 100*rt.Utility(0, s),
+				rt.Shards[0][s].Latency.Quantile(0.95).Round(time.Microsecond))
+		}
+		for _, label := range ld.EpochUtility.Labels() {
+			if val, ok := ld.EpochUtility.Value(label); ok {
+				fmt.Printf("model %q retired gauge %s = %.1f%%\n", v.name, label, 100*val)
+			}
 		}
 	}
 }

@@ -80,6 +80,11 @@ func (p HPAPolicy) Validate() error {
 // away from the boundaries the plan was cut for, accesses spread out and
 // the utility profile flattens. The trigger fires when the observed skew
 // (max - min utility across a table's shards) falls below MinSkew.
+//
+// One policy can govern several models of a multi-model deployment:
+// warm-up and re-trigger suppression are tracked per model name (see
+// ShouldRepartitionModel), so model A firing never consumes model B's
+// interval — each variant repartitions on its own cadence.
 type RepartitionPolicy struct {
 	// MinSkew is the smallest healthy utility spread (in (0, 1)); an
 	// epoch whose skew has flattened below it is considered stale.
@@ -90,12 +95,14 @@ type RepartitionPolicy struct {
 	// fused batch of several client requests counts once, so size the
 	// warm-up against the expected fusion factor.
 	MinRequests int64
-	// MinInterval suppresses re-triggering while a fresh plan warms up.
+	// MinInterval suppresses re-triggering the same model while its fresh
+	// plan warms up.
 	MinInterval time.Duration
 
-	mu       sync.Mutex
-	lastFire time.Time
-	fired    bool
+	mu sync.Mutex
+	// lastFire[model] is when that model's trigger last fired; absence
+	// means it never has.
+	lastFire map[string]time.Time
 }
 
 // Validate checks policy invariants.
@@ -114,18 +121,29 @@ func (p *RepartitionPolicy) Validate() error {
 
 // ShouldRepartition reports whether the epoch's flattened utility skew
 // justifies a plan swap at wall time now (after served requests in the
-// epoch), and records the firing time when it does.
+// epoch), and records the firing time when it does. Single-model
+// convenience for ShouldRepartitionModel with an empty model name.
 func (p *RepartitionPolicy) ShouldRepartition(skew float64, served int64, now time.Time) bool {
+	return p.ShouldRepartitionModel("", skew, served, now)
+}
+
+// ShouldRepartitionModel is the per-model trigger: it evaluates the named
+// model's skew and warm-up against the shared thresholds but keeps the
+// firing/interval state per model, so concurrent variants sharing one
+// policy are throttled independently.
+func (p *RepartitionPolicy) ShouldRepartitionModel(model string, skew float64, served int64, now time.Time) bool {
 	if served < p.MinRequests || skew >= p.MinSkew {
 		return false
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.fired && now.Sub(p.lastFire) < p.MinInterval {
+	if last, fired := p.lastFire[model]; fired && now.Sub(last) < p.MinInterval {
 		return false
 	}
-	p.fired = true
-	p.lastFire = now
+	if p.lastFire == nil {
+		p.lastFire = make(map[string]time.Time)
+	}
+	p.lastFire[model] = now
 	return true
 }
 

@@ -67,6 +67,7 @@ type pendingPredict struct {
 type Batcher struct {
 	backend PredictClient
 	cfg     model.Config
+	model   string // canonical model name; a fused batch never mixes models
 	opts    BatcherOptions
 
 	mu     sync.RWMutex // guards closed vs. enqueue
@@ -86,13 +87,21 @@ type Batcher struct {
 }
 
 // NewBatcher starts a batching frontend over a predict backend serving the
-// given model geometry (use DenseShard.Config()). Close it to flush and
-// stop the collector.
+// given model geometry (use DenseShard.Config()) under the default model
+// name. Close it to flush and stop the collector.
 func NewBatcher(backend PredictClient, cfg model.Config, opts BatcherOptions) *Batcher {
+	return NewModelBatcher(DefaultModel, backend, cfg, opts)
+}
+
+// NewModelBatcher starts a batching frontend for one named DLRM variant.
+// Requests for any other model are rejected on arrival, so a fused batch
+// can never mix two variants' inputs into one forward pass.
+func NewModelBatcher(name string, backend PredictClient, cfg model.Config, opts BatcherOptions) *Batcher {
 	opts.defaults()
 	b := &Batcher{
 		backend:    backend,
 		cfg:        cfg,
+		model:      canonicalModel(name),
 		opts:       opts,
 		reqs:       make(chan *pendingPredict, opts.QueueCap),
 		slots:      make(chan struct{}, opts.MaxInFlight),
@@ -109,6 +118,9 @@ func NewBatcher(backend PredictClient, cfg model.Config, opts BatcherOptions) *B
 // Options returns the effective (defaulted) options.
 func (b *Batcher) Options() BatcherOptions { return b.opts }
 
+// Model returns the canonical model name the batcher serves.
+func (b *Batcher) Model() string { return b.model }
+
 // Predict enqueues the request and blocks until its inputs have been
 // scored inside some fused batch, or until ctx is done. Safe for
 // concurrent use; the request is read-only until Predict returns. A
@@ -123,6 +135,9 @@ func (b *Batcher) Predict(ctx context.Context, req *PredictRequest, reply *Predi
 	}
 	if req.DenseDim != b.cfg.DenseInputDim {
 		return fmt.Errorf("serving: dense dim %d != model %d", req.DenseDim, b.cfg.DenseInputDim)
+	}
+	if got := canonicalModel(req.Model); got != b.model {
+		return fmt.Errorf("serving: request for model %q reached batcher serving %q", got, b.model)
 	}
 	if err := ctx.Err(); err != nil {
 		return err
@@ -195,20 +210,22 @@ func (b *Batcher) collect() {
 	}
 }
 
-// batchContext derives the fused call's context: the latest deadline
-// among the batchmates (so no caller's budget is cut short by a
-// batchmate's tighter one); unbounded when any caller has no deadline.
+// batchContext derives the fused call's context: the earliest deadline
+// among the batchmates that have one, so no request ever executes past its
+// own budget inside a fused batch (the old latest-deadline rule let a
+// permissive batchmate stretch a tight request far beyond its deadline).
+// The flip side — a permissive request can now fail because a tight
+// batchmate bounded the fused call — is accepted until slack-aware queue
+// admission lands (see ROADMAP "Deadline-aware batching"). Unbounded only
+// when no caller has a deadline.
 func batchContext(batch []*pendingPredict) (context.Context, context.CancelFunc) {
-	latest := int64(0)
+	earliest := int64(0)
 	for _, p := range batch {
-		if p.deadline == 0 {
-			return context.WithCancel(context.Background())
-		}
-		if p.deadline > latest {
-			latest = p.deadline
+		if p.deadline != 0 && (earliest == 0 || p.deadline < earliest) {
+			earliest = p.deadline
 		}
 	}
-	return deadlineContext(latest)
+	return deadlineContext(earliest)
 }
 
 // dispatch runs one fused batch against the backend and demuxes results.
@@ -255,6 +272,7 @@ func (b *Batcher) fuse(batch []*pendingPredict, total int) *PredictRequest {
 	dd := b.cfg.DenseInputDim
 	nt := b.cfg.NumTables
 	fused := &PredictRequest{
+		Model:     b.model,
 		BatchSize: total,
 		DenseDim:  dd,
 		Dense:     make([]float32, 0, total*dd),

@@ -503,3 +503,100 @@ func TestStressPredictThroughBatcher(t *testing.T) {
 		t.Fatal("stress traffic never reached the batcher")
 	}
 }
+
+// TestBatchContextUsesEarliestDeadline pins the fused-call deadline rule:
+// the fused context is bounded by the EARLIEST batchmate deadline, so no
+// request in the batch can execute past its own budget (the old rule took
+// the latest, silently stretching a tight request's budget to its most
+// permissive batchmate's).
+func TestBatchContextUsesEarliestDeadline(t *testing.T) {
+	now := time.Now()
+	tight := now.Add(50 * time.Millisecond).UnixNano()
+	loose := now.Add(time.Hour).UnixNano()
+
+	ctx, cancel := batchContext([]*pendingPredict{{deadline: loose}, {deadline: tight}, {deadline: loose}})
+	defer cancel()
+	dl, ok := ctx.Deadline()
+	if !ok {
+		t.Fatal("fused context has no deadline")
+	}
+	if got := dl.UnixNano(); got != tight {
+		t.Fatalf("fused deadline = %v, want the earliest batchmate deadline %v",
+			dl, time.Unix(0, tight))
+	}
+
+	// A no-deadline batchmate does not unbound the fused call: the tight
+	// caller's budget still governs.
+	ctx2, cancel2 := batchContext([]*pendingPredict{{deadline: 0}, {deadline: tight}})
+	defer cancel2()
+	dl2, ok := ctx2.Deadline()
+	if !ok || dl2.UnixNano() != tight {
+		t.Fatalf("fused deadline with undeadlined batchmate = (%v, %v), want %v",
+			dl2, ok, time.Unix(0, tight))
+	}
+
+	// No deadlines anywhere -> unbounded.
+	ctx3, cancel3 := batchContext([]*pendingPredict{{deadline: 0}, {deadline: 0}})
+	defer cancel3()
+	if _, ok := ctx3.Deadline(); ok {
+		t.Fatal("deadline-free batch got a bounded context")
+	}
+}
+
+// deadlineAwareSlowBackend succeeds only after 30 s but honors its
+// context, like the real dense shard's cancelable gather fan-out.
+type deadlineAwareSlowBackend struct{}
+
+func (deadlineAwareSlowBackend) Predict(ctx context.Context, req *PredictRequest, reply *PredictReply) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(30 * time.Second):
+		reply.Probs = make([]float32, req.BatchSize)
+		return nil
+	}
+}
+
+// TestBatcherHonorsTightestCallerDeadline drives the earliest-deadline
+// rule end to end: a tight-deadline request joins a batch with a
+// permissive batchmate, and the fused dispatch must fail fast (bounded by
+// the tight deadline) instead of running the slow backend on the
+// permissive caller's hour-long budget, as the old latest-deadline rule
+// did.
+func TestBatcherHonorsTightestCallerDeadline(t *testing.T) {
+	b := NewBatcher(deadlineAwareSlowBackend{}, batcherConfig(),
+		BatcherOptions{MaxBatch: 2, MaxDelay: 200 * time.Millisecond})
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	var tightErr, looseErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+		defer cancel()
+		var reply PredictReply
+		tightErr = b.Predict(ctx, singleInputRequest(0.5), &reply)
+	}()
+	go func() {
+		defer wg.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+		defer cancel()
+		var reply PredictReply
+		looseErr = b.Predict(ctx, singleInputRequest(0.25), &reply)
+	}()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("fused batch ran on the permissive caller's budget instead of the tight one")
+	}
+	if tightErr == nil {
+		t.Fatal("tight-deadline caller succeeded against a 30s backend")
+	}
+	if looseErr == nil {
+		t.Fatal("permissive batchmate succeeded; expected the earliest-deadline bound to fail the fused call")
+	}
+}

@@ -13,17 +13,21 @@ import (
 	"repro/internal/tensor"
 )
 
-// DenseShard is the dense DNN microservice: it owns the bottom/top MLP
-// parameters and consults the epoch-versioned Router for the current
-// partition plan. On Predict it pins exactly one routing-table epoch,
-// applies that epoch's preprocessing remap, bucketizes the sparse inputs
-// against that epoch's boundaries, fans the gathers out concurrently to
-// that epoch's shard clients, merges the pooled partial sums and finishes
-// the forward pass (Sec. IV-A). Because the whole fan-out happens inside
-// one snapshot, a concurrent plan swap can never mix shards of two plans.
+// DenseShard is one DLRM variant's dense DNN microservice: it owns that
+// variant's bottom/top MLP parameters and consults the epoch-versioned
+// Router for the variant's current partition plan. On Predict it pins
+// exactly one routing-table epoch of its own model, applies that epoch's
+// preprocessing remap, bucketizes the sparse inputs against that epoch's
+// boundaries, fans the gathers out concurrently to that epoch's shard
+// clients, merges the pooled partial sums and finishes the forward pass
+// (Sec. IV-A). Because the whole fan-out happens inside one snapshot, a
+// concurrent plan swap can never mix shards of two plans — and because the
+// shard serves exactly one model and rejects mismatched requests, it can
+// never mix two variants either.
 type DenseShard struct {
 	cfg    model.Config
 	router *Router
+	model  string // canonical model name this shard serves
 
 	dense *model.Model // parameters read-only; scratch comes from its pool
 
@@ -31,16 +35,26 @@ type DenseShard struct {
 	QPS     *metrics.QPSMeter
 }
 
-// NewDenseShard wires a dense service over a routing layer. denseModel
-// needs only its MLPs (model.NewDenseOnly suffices); router serves the
-// partition plan epochs (see NewRoutingTable for the plan layout).
+// NewDenseShard wires a dense service over a routing layer, serving the
+// default model — the single-variant constructor. denseModel needs only
+// its MLPs (model.NewDenseOnly suffices); router serves the partition plan
+// epochs (see NewRoutingTable for the plan layout).
 func NewDenseShard(denseModel *model.Model, router *Router) (*DenseShard, error) {
-	if router == nil || router.Load() == nil {
-		return nil, fmt.Errorf("serving: dense shard needs a router with a published routing table")
+	return NewModelDenseShard(DefaultModel, denseModel, router)
+}
+
+// NewModelDenseShard wires a dense service for one named DLRM variant over
+// a shared multi-model routing layer. The variant must already be
+// registered with the router.
+func NewModelDenseShard(name string, denseModel *model.Model, router *Router) (*DenseShard, error) {
+	name = canonicalModel(name)
+	if router == nil || router.LoadModel(name) == nil {
+		return nil, fmt.Errorf("serving: dense shard needs a router with a published routing table for model %q", name)
 	}
 	return &DenseShard{
 		cfg:     denseModel.Config,
 		router:  router,
+		model:   name,
 		dense:   denseModel,
 		Latency: metrics.NewLatencyRecorder(0),
 		QPS:     metrics.NewQPSMeter(10 * time.Second),
@@ -50,6 +64,9 @@ func NewDenseShard(denseModel *model.Model, router *Router) (*DenseShard, error)
 // Config returns the model geometry the shard serves (used by the batcher
 // frontend to validate requests before they join a fused batch).
 func (d *DenseShard) Config() model.Config { return d.cfg }
+
+// Model returns the canonical model name the shard serves.
+func (d *DenseShard) Model() string { return d.model }
 
 // Router returns the routing layer the shard consults.
 func (d *DenseShard) Router() *Router { return d.router }
@@ -72,11 +89,17 @@ func (d *DenseShard) Predict(ctx context.Context, req *PredictRequest, reply *Pr
 	if req.DenseDim != d.cfg.DenseInputDim {
 		return fmt.Errorf("serving: dense dim %d != model %d", req.DenseDim, d.cfg.DenseInputDim)
 	}
+	if got := canonicalModel(req.Model); got != d.model {
+		return fmt.Errorf("serving: request for model %q reached dense shard serving %q", got, d.model)
+	}
 	bs := req.BatchSize
 
-	// Pin one routing epoch for the whole request; the epoch cannot be
-	// retired until this request releases it.
-	rt := d.router.Acquire()
+	// Pin one routing epoch of this shard's model for the whole request;
+	// the epoch cannot be retired until this request releases it.
+	rt, err := d.router.AcquireModel(d.model)
+	if err != nil {
+		return err
+	}
 	defer rt.release()
 
 	if rt.Pre != nil {

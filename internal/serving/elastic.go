@@ -40,11 +40,15 @@ type BuildOptions struct {
 	Batching *BatcherOptions
 }
 
-// LiveDeployment is a fully wired ElasticRec serving instance. The
-// partition plan lives in an epoch-versioned Router: Repartition builds
-// the next epoch side-by-side from fresh access statistics, publishes it
-// atomically and retires the old one — the zero-downtime plan swap of the
-// paper's re-profiling loop (Sec. IV-B).
+// LiveDeployment is a fully wired ElasticRec serving instance for one DLRM
+// variant. The partition plan lives in an epoch-versioned Router:
+// Repartition builds the next epoch side-by-side from fresh access
+// statistics, publishes it atomically and retires the old one — the
+// zero-downtime plan swap of the paper's re-profiling loop (Sec. IV-B).
+// The Router may be private (BuildElastic) or shared with other variants
+// (BuildMulti): either way this deployment only ever touches its own
+// model's epochs, so its repartitions never drain another variant's
+// in-flight requests.
 type LiveDeployment struct {
 	Router *Router
 	Dense  *DenseShard
@@ -60,6 +64,7 @@ type LiveDeployment struct {
 	source *model.Model // the full model, kept for re-preprocessing
 	opts   BuildOptions
 	cfg    model.Config
+	model  string // canonical model name this deployment serves
 
 	servers []*RPCServer // frontend (ExportPredict) servers
 
@@ -85,20 +90,33 @@ type profileWindow struct {
 // loopback-TCP RPC), and wires a dense shard over an epoch-versioned
 // routing table.
 func BuildElastic(m *model.Model, stats []*embedding.AccessStats, boundaries []int64, opts BuildOptions) (*LiveDeployment, error) {
+	return buildModelDeployment(NewMultiRouter(), DefaultModel, m, stats, boundaries, opts)
+}
+
+// buildModelDeployment assembles one variant's deployment into a (possibly
+// shared) router, registering its epoch-0 plan under name. BuildElastic
+// uses it with a private router; BuildMulti calls it once per variant with
+// the shared one.
+func buildModelDeployment(router *Router, name string, m *model.Model, stats []*embedding.AccessStats, boundaries []int64, opts BuildOptions) (*LiveDeployment, error) {
 	if opts.Transport == "" {
 		opts.Transport = TransportLocal
 	}
 	ld := &LiveDeployment{
+		Router:       router,
 		EpochUtility: metrics.NewGaugeVec(),
 		source:       m,
 		opts:         opts,
 		cfg:          m.Config,
+		model:        canonicalModel(name),
 	}
 	rt, err := ld.buildTable(0, stats, boundaries)
 	if err != nil {
 		return nil, err
 	}
-	ld.Router = NewRouter(rt)
+	if err := router.Register(ld.model, rt); err != nil {
+		rt.Close()
+		return nil, err
+	}
 
 	denseModel, err := model.NewDenseOnly(ld.cfg, 0)
 	if err != nil {
@@ -109,14 +127,14 @@ func BuildElastic(m *model.Model, stats []*embedding.AccessStats, boundaries []i
 	// source model, so copy them over.
 	denseModel.Bottom = m.Bottom.Clone()
 	denseModel.Top = m.Top.Clone()
-	dense, err := NewDenseShard(denseModel, ld.Router)
+	dense, err := NewModelDenseShard(ld.model, denseModel, ld.Router)
 	if err != nil {
 		rt.Close()
 		return nil, err
 	}
 	ld.Dense = dense
 	if opts.Batching != nil {
-		ld.Batcher = NewBatcher(dense, dense.Config(), *opts.Batching)
+		ld.Batcher = NewModelBatcher(ld.model, dense, dense.Config(), *opts.Batching)
 	}
 	return ld, nil
 }
@@ -227,23 +245,28 @@ func exportGather(rt *RoutingTable, svc GatherClient, name string, tr Transport)
 	}
 }
 
-// Repartition performs a zero-downtime plan swap: it re-preprocesses the
-// tables from the fresh access statistics, builds the next epoch's shard
-// services side-by-side (the old epoch keeps serving throughout),
-// atomically publishes the new routing table, then drains the old epoch's
-// in-flight requests and closes its servers and connections. Concurrent
-// Predicts never fail and never mix shards across plans — each pins one
-// epoch for its whole fan-out.
+// Repartition performs a zero-downtime plan swap for this deployment's
+// model: it re-preprocesses the tables from the fresh access statistics,
+// builds the next epoch's shard services side-by-side (the old epoch keeps
+// serving throughout), atomically publishes the new routing table, then
+// drains the old epoch's in-flight requests and closes its servers and
+// connections. Concurrent Predicts never fail and never mix shards across
+// plans — each pins one epoch for its whole fan-out — and on a shared
+// router every other model's epochs and in-flight requests are untouched.
 func (ld *LiveDeployment) Repartition(ctx context.Context, stats []*embedding.AccessStats, newBoundaries []int64) error {
 	ld.repartitionMu.Lock()
 	defer ld.repartitionMu.Unlock()
 
-	old := ld.Router.Load()
+	old := ld.Router.LoadModel(ld.model)
 	next, err := ld.buildTable(old.Epoch+1, stats, newBoundaries)
 	if err != nil {
 		return fmt.Errorf("serving: repartition: %w", err)
 	}
-	retired := ld.Router.Publish(next)
+	retired, err := ld.Router.PublishModel(ld.model, next)
+	if err != nil {
+		next.Close()
+		return fmt.Errorf("serving: repartition: %w", err)
+	}
 	if err := retired.Drain(ctx); err != nil {
 		// The new epoch is live; the old one could not be drained in
 		// time and is intentionally leaked rather than closed under an
@@ -267,11 +290,16 @@ func (ld *LiveDeployment) recordEpochUtility(rt *RoutingTable) {
 
 // Predict services a query whose sparse indices are in the *original*
 // table-ID space, going through the dynamic batcher when one is
-// configured. The preprocessing remap happens inside the routed epoch
-// snapshot (see DenseShard.Predict), so fused batches and plan swaps can
-// never mix ID spaces. When a live profiling window is open, the request
-// is also recorded into it.
+// configured. A request addressed to a different model is rejected here —
+// a multi-model frontend dispatches on PredictRequest.Model before it
+// reaches a variant's deployment. The preprocessing remap happens inside
+// the routed epoch snapshot (see DenseShard.Predict), so fused batches and
+// plan swaps can never mix ID spaces. When a live profiling window is
+// open, the request is also recorded into it.
 func (ld *LiveDeployment) Predict(ctx context.Context, req *PredictRequest, reply *PredictReply) error {
+	if got := canonicalModel(req.Model); got != ld.model {
+		return fmt.Errorf("serving: request for model %q reached deployment serving %q", got, ld.model)
+	}
 	ld.recordProfile(req)
 	if ld.Batcher != nil {
 		return ld.Batcher.Predict(ctx, req, reply)
@@ -324,31 +352,35 @@ func (ld *LiveDeployment) recordProfile(req *PredictRequest) {
 	}
 }
 
-// Table returns the current routing-table epoch (observability snapshot;
-// the request path pins epochs through the router instead).
-func (ld *LiveDeployment) Table() *RoutingTable { return ld.Router.Load() }
+// Model returns the canonical model name this deployment serves.
+func (ld *LiveDeployment) Model() string { return ld.model }
+
+// Table returns the current routing-table epoch of this deployment's
+// model (observability snapshot; the request path pins epochs through the
+// router instead).
+func (ld *LiveDeployment) Table() *RoutingTable { return ld.Router.LoadModel(ld.model) }
 
 // Epoch returns the current plan epoch number.
-func (ld *LiveDeployment) Epoch() int64 { return ld.Router.Load().Epoch }
+func (ld *LiveDeployment) Epoch() int64 { return ld.Table().Epoch }
 
 // Boundaries returns the current epoch's per-table boundary plan.
-func (ld *LiveDeployment) Boundaries() []int64 { return ld.Router.Load().Plan }
+func (ld *LiveDeployment) Boundaries() []int64 { return ld.Table().Plan }
 
 // Pre returns the current epoch's preprocessing output.
-func (ld *LiveDeployment) Pre() *Preprocessed { return ld.Router.Load().Pre }
+func (ld *LiveDeployment) Pre() *Preprocessed { return ld.Table().Pre }
 
 // Pool returns the replica pool of shard s of table t in the current
 // epoch.
-func (ld *LiveDeployment) Pool(t, s int) *ReplicaPool { return ld.Router.Load().Pools[t][s] }
+func (ld *LiveDeployment) Pool(t, s int) *ReplicaPool { return ld.Table().Pools[t][s] }
 
 // Shard returns the primary shard service of shard s of table t in the
 // current epoch.
-func (ld *LiveDeployment) Shard(t, s int) *EmbeddingShard { return ld.Router.Load().Shards[t][s] }
+func (ld *LiveDeployment) Shard(t, s int) *EmbeddingShard { return ld.Table().Shards[t][s] }
 
 // ShardUtility returns the Fig. 14-style memory utility of shard s of
 // table t over the traffic the current epoch has served.
 func (ld *LiveDeployment) ShardUtility(t, s int) float64 {
-	return ld.Router.Load().Utility(t, s)
+	return ld.Table().Utility(t, s)
 }
 
 // ExportPredict exposes the deployment's predict frontend (batcher-routed
@@ -389,7 +421,7 @@ func (ld *LiveDeployment) Close() {
 		_ = s.Close()
 	}
 	ld.servers = nil
-	if rt := ld.Router.Load(); rt != nil {
+	if rt := ld.Router.LoadModel(ld.model); rt != nil {
 		ld.recordEpochUtility(rt)
 		rt.Close()
 	}

@@ -1,0 +1,186 @@
+package serving
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/embedding"
+	"repro/internal/model"
+)
+
+// This file implements multi-model serving: one frontend, one Router, N
+// independently-repartitionable DLRM variants. Each variant keeps its own
+// dense shard (its own MLP parameters), its own dynamic batcher (fused
+// batches never mix variants), its own live profiling window and its own
+// epoch sequence inside the shared Router's (model -> plan) map.
+// Repartitioning one variant drains only that variant's retired epoch;
+// every other variant's in-flight requests and epoch pointers are
+// untouched.
+
+// ModelSpec describes one DLRM variant of a multi-model deployment.
+type ModelSpec struct {
+	// Name identifies the variant; requests address it through
+	// PredictRequest.Model. Must be unique within the deployment
+	// (empty canonicalizes to DefaultModel).
+	Name string
+	// Model is the fully instantiated variant (tables included).
+	Model *model.Model
+	// Stats is the variant's pre-deployment profiling window.
+	Stats []*embedding.AccessStats
+	// Boundaries is the variant's initial shard plan.
+	Boundaries []int64
+	// Options configures the variant's transport/replicas/batching;
+	// variants may differ (e.g. only the hot variant batched).
+	Options BuildOptions
+}
+
+// MultiDeployment serves several DLRM variants behind one frontend and one
+// epoch-versioned Router. It is the multi-model generalization of
+// LiveDeployment: each variant is a full LiveDeployment (dense shard,
+// batcher, profiling window, repartition loop) sharing the Router, and the
+// MultiDeployment dispatches every request on its Model field.
+type MultiDeployment struct {
+	// Router is the shared (model -> plan) routing layer.
+	Router *Router
+
+	deployments map[string]*LiveDeployment
+	names       []string // registration order, canonical
+	servers     []*RPCServer
+}
+
+// BuildMulti assembles a multi-model deployment: every spec is built as a
+// LiveDeployment registered under its name in one shared Router. On error,
+// everything already built is torn down.
+func BuildMulti(specs ...ModelSpec) (*MultiDeployment, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("serving: multi-model deployment needs at least one model spec")
+	}
+	md := &MultiDeployment{
+		Router:      NewMultiRouter(),
+		deployments: make(map[string]*LiveDeployment, len(specs)),
+	}
+	for _, spec := range specs {
+		name := canonicalModel(spec.Name)
+		if _, dup := md.deployments[name]; dup {
+			md.Close()
+			return nil, fmt.Errorf("serving: duplicate model %q in multi-model deployment", name)
+		}
+		ld, err := buildModelDeployment(md.Router, name, spec.Model, spec.Stats, spec.Boundaries, spec.Options)
+		if err != nil {
+			md.Close()
+			return nil, fmt.Errorf("serving: building model %q: %w", name, err)
+		}
+		md.deployments[name] = ld
+		md.names = append(md.names, name)
+	}
+	return md, nil
+}
+
+// Models returns the served model names, sorted.
+func (md *MultiDeployment) Models() []string {
+	out := append([]string(nil), md.names...)
+	sort.Strings(out)
+	return out
+}
+
+// Deployment returns the named variant's deployment (the per-model handle
+// for profiling, repartitioning and metrics).
+func (md *MultiDeployment) Deployment(mdl string) (*LiveDeployment, bool) {
+	ld, ok := md.deployments[canonicalModel(mdl)]
+	return ld, ok
+}
+
+// deployment resolves a model name or reports the addressable set.
+func (md *MultiDeployment) deployment(mdl string) (*LiveDeployment, error) {
+	ld, ok := md.deployments[canonicalModel(mdl)]
+	if !ok {
+		return nil, fmt.Errorf("serving: frontend serves no model %q (have %v)", canonicalModel(mdl), md.Models())
+	}
+	return ld, nil
+}
+
+// Predict dispatches the request to the variant named by its Model field
+// (empty = DefaultModel) — the one multi-model frontend entry point. Each
+// variant's own batcher/dense path takes over from there, so two variants'
+// requests are never fused together and never score against each other's
+// parameters.
+func (md *MultiDeployment) Predict(ctx context.Context, req *PredictRequest, reply *PredictReply) error {
+	ld, err := md.deployment(req.Model)
+	if err != nil {
+		return err
+	}
+	return ld.Predict(ctx, req, reply)
+}
+
+var _ PredictClient = (*MultiDeployment)(nil)
+
+// Repartition performs a zero-downtime plan swap for one variant; all
+// other variants keep serving their current epochs without ever being
+// drained or republished (see LiveDeployment.Repartition).
+func (md *MultiDeployment) Repartition(ctx context.Context, mdl string, stats []*embedding.AccessStats, newBoundaries []int64) error {
+	ld, err := md.deployment(mdl)
+	if err != nil {
+		return err
+	}
+	return ld.Repartition(ctx, stats, newBoundaries)
+}
+
+// StartProfile opens the named variant's live profiling window (each
+// variant profiles and repartitions on its own cadence).
+func (md *MultiDeployment) StartProfile(mdl string) error {
+	ld, err := md.deployment(mdl)
+	if err != nil {
+		return err
+	}
+	ld.StartProfile()
+	return nil
+}
+
+// SnapshotProfile closes the named variant's profiling window and returns
+// its statistics (nil when no window was open).
+func (md *MultiDeployment) SnapshotProfile(mdl string) ([]*embedding.AccessStats, error) {
+	ld, err := md.deployment(mdl)
+	if err != nil {
+		return nil, err
+	}
+	return ld.SnapshotProfile(), nil
+}
+
+// Epoch returns the named variant's current plan epoch (-1 when the model
+// is unknown).
+func (md *MultiDeployment) Epoch(mdl string) int64 {
+	ld, err := md.deployment(mdl)
+	if err != nil {
+		return -1
+	}
+	return ld.Epoch()
+}
+
+// ExportPredict exposes the multi-model dispatching frontend as one
+// net/rpc service under name on loopback TCP: a single wire endpoint
+// serves every variant, routed by PredictRequest.Model. The server is torn
+// down by Close.
+func (md *MultiDeployment) ExportPredict(name string) (string, error) {
+	srv, err := NewRPCServer("127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	if err := srv.RegisterPredict(name, predictFunc(md.Predict)); err != nil {
+		srv.Close()
+		return "", err
+	}
+	md.servers = append(md.servers, srv)
+	return srv.Addr(), nil
+}
+
+// Close tears down the frontend servers and every variant's deployment.
+func (md *MultiDeployment) Close() {
+	for _, s := range md.servers {
+		_ = s.Close()
+	}
+	md.servers = nil
+	for _, name := range md.names {
+		md.deployments[name].Close()
+	}
+}

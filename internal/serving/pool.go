@@ -167,13 +167,42 @@ var _ PredictClient = (*PredictPool)(nil)
 // scale out when offered per-replica QPS exceeds QPSMax, scale in when it
 // falls well below (Sec. IV-D's throughput-centric sparse-shard policy).
 type AutoscaledShard struct {
-	Name   string
+	Name string
+	// Model names the DLRM variant the shard belongs to in a multi-model
+	// deployment (informational; empty for single-model deployments). The
+	// OfferedQPS callback receives Name, so per-model load attribution
+	// goes through the shard's name/model pair.
+	Model  string
 	Pool   *ReplicaPool
 	QPSMax float64
 	// Spawn creates one more replica service for the shard.
 	Spawn func() (GatherClient, error)
 	// MaxReplicas caps scale-out (0 = unlimited).
 	MaxReplicas int
+}
+
+// ModelRepartition is one variant's entry in a multi-model autoscaler: the
+// variant's deployment, its staleness policy and its replanner. Each entry
+// is evaluated independently every control period, so variants repartition
+// on independent cadences — a swap of one never gates, drains or delays
+// another's.
+type ModelRepartition struct {
+	// Model names the variant (for policy state and callbacks; defaults
+	// to the deployment's own model name).
+	Model string
+	// Deployment is the variant's live deployment (from
+	// MultiDeployment.Deployment or BuildElastic).
+	Deployment *LiveDeployment
+	// Policy decides when this variant's utility skew justifies a swap.
+	// Policies may be shared across variants: firing state is kept per
+	// model inside the policy.
+	Policy *cluster.RepartitionPolicy
+	// Replan maps the variant's freshly profiled window to new shard
+	// boundaries.
+	Replan func(stats []*embedding.AccessStats) ([]int64, error)
+	// OnRepartition, when set, observes every triggered swap of this
+	// variant (retired epoch, error if the swap failed).
+	OnRepartition func(model string, retired int64, err error)
 }
 
 // LiveAutoscaler runs a background control loop over shard pools — an
@@ -190,7 +219,8 @@ type LiveAutoscaler struct {
 	OfferedQPS func(name string) float64
 
 	// Deployment, when set together with RepartitionPolicy and Replan,
-	// enables the skew-triggered live repartition loop.
+	// enables the skew-triggered live repartition loop for a single-model
+	// deployment. Multi-model deployments use Repartitions instead.
 	Deployment *LiveDeployment
 	// RepartitionPolicy decides when a utility skew justifies a swap.
 	RepartitionPolicy *cluster.RepartitionPolicy
@@ -200,6 +230,11 @@ type LiveAutoscaler struct {
 	// OnRepartition, when set, observes every triggered swap (epoch that
 	// was retired, error if the swap failed).
 	OnRepartition func(retired int64, err error)
+
+	// Repartitions holds one independent repartition loop per served
+	// model: every control period each variant's skew is evaluated against
+	// its own policy, so variants swap plans on independent cadences.
+	Repartitions []*ModelRepartition
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -228,12 +263,16 @@ func (a *LiveAutoscaler) Start() {
 }
 
 // step evaluates every shard once (exported for deterministic tests via
-// Evaluate) and then the repartition trigger.
+// Evaluate), then the single-model repartition trigger, then every
+// per-model repartition loop.
 func (a *LiveAutoscaler) step() {
 	for _, s := range a.Shards {
 		_ = a.Evaluate(s)
 	}
 	_, _ = a.EvaluateRepartition(time.Now())
+	for _, mr := range a.Repartitions {
+		_, _ = a.EvaluateModelRepartition(mr, time.Now())
+	}
 }
 
 // Evaluate runs one scaling decision for a shard and returns the replica
@@ -259,31 +298,57 @@ func (a *LiveAutoscaler) Evaluate(s *AutoscaledShard) int {
 }
 
 // EvaluateRepartition runs one repartition decision at the given wall
-// time: when the current epoch's utility skew trips the policy, it
-// snapshots the live profiling window, re-plans boundaries and swaps the
-// epoch. Returns whether a swap was attempted.
+// time for the single-model Deployment/RepartitionPolicy/Replan trio: when
+// the current epoch's utility skew trips the policy, it snapshots the live
+// profiling window, re-plans boundaries and swaps the epoch. Returns
+// whether a swap was attempted.
 func (a *LiveAutoscaler) EvaluateRepartition(now time.Time) (bool, error) {
 	if a.Deployment == nil || a.RepartitionPolicy == nil || a.Replan == nil {
 		return false, nil
 	}
-	rt := a.Deployment.Table()
-	if !a.RepartitionPolicy.ShouldRepartition(rt.UtilitySkew(), rt.Served.Value(), now) {
+	mr := &ModelRepartition{
+		Model:      a.Deployment.Model(),
+		Deployment: a.Deployment,
+		Policy:     a.RepartitionPolicy,
+		Replan:     a.Replan,
+	}
+	if a.OnRepartition != nil {
+		mr.OnRepartition = func(_ string, retired int64, err error) { a.OnRepartition(retired, err) }
+	}
+	return a.EvaluateModelRepartition(mr, now)
+}
+
+// EvaluateModelRepartition runs one variant's repartition decision at the
+// given wall time. Each variant's skew is judged against its own policy
+// state (keyed by model name), its own profiling window is snapshotted and
+// reopened, and only its own epoch is swapped — other variants sharing the
+// router keep serving undisturbed.
+func (a *LiveAutoscaler) EvaluateModelRepartition(mr *ModelRepartition, now time.Time) (bool, error) {
+	if mr == nil || mr.Deployment == nil || mr.Policy == nil || mr.Replan == nil {
 		return false, nil
 	}
-	stats := a.Deployment.SnapshotProfile()
-	if stats == nil {
-		return false, fmt.Errorf("serving: repartition triggered without a live profiling window")
+	name := mr.Model
+	if name == "" {
+		name = mr.Deployment.Model()
 	}
-	boundaries, err := a.Replan(stats)
+	rt := mr.Deployment.Table()
+	if !mr.Policy.ShouldRepartitionModel(name, rt.UtilitySkew(), rt.Served.Value(), now) {
+		return false, nil
+	}
+	stats := mr.Deployment.SnapshotProfile()
+	if stats == nil {
+		return false, fmt.Errorf("serving: repartition of model %q triggered without a live profiling window", name)
+	}
+	boundaries, err := mr.Replan(stats)
 	if err == nil {
-		err = a.Deployment.Repartition(context.Background(), stats, boundaries)
+		err = mr.Deployment.Repartition(context.Background(), stats, boundaries)
 	}
 	// Reopen the window for the next cycle regardless of outcome — a
 	// transient replan failure must not consume the only window and wedge
 	// the trigger loop for the rest of the process lifetime.
-	a.Deployment.StartProfile()
-	if a.OnRepartition != nil {
-		a.OnRepartition(rt.Epoch, err)
+	mr.Deployment.StartProfile()
+	if mr.OnRepartition != nil {
+		mr.OnRepartition(name, rt.Epoch, err)
 	}
 	return true, err
 }

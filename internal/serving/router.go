@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -11,21 +13,45 @@ import (
 	"repro/internal/model"
 )
 
-// This file is the epoch-versioned routing layer. A RoutingTable is one
-// immutable snapshot of the serving plan: the preprocessing remap, the
-// per-table shard boundaries, and a gather client for every shard. The
-// Router publishes tables through an atomic pointer; a Predict call
-// acquires exactly one epoch for its whole fan-out, so a concurrent plan
-// swap can never mix shards from two plans. Live repartitioning
-// (Sec. IV-B's re-profiling loop) builds the next epoch side-by-side,
-// publishes it atomically, then drains and retires the old one — traffic
-// keeps flowing throughout.
+// This file is the epoch-versioned, multi-model routing layer. A
+// RoutingTable is one immutable snapshot of one model's serving plan: the
+// preprocessing remap, the per-table shard boundaries, and a gather client
+// for every shard. The Router publishes a (model name -> plan) map; each
+// registered model has its own atomic epoch pointer, so one frontend can
+// serve several DLRM variants and repartition each of them independently —
+// publishing model A's next epoch never drains or touches model B's
+// in-flight requests. A Predict call acquires exactly one epoch of exactly
+// one model for its whole fan-out, so a concurrent plan swap can never mix
+// shards from two plans (or two models). Live repartitioning (Sec. IV-B's
+// re-profiling loop) builds the next epoch side-by-side, publishes it
+// atomically, then drains and retires the old one — traffic keeps flowing
+// throughout.
 
-// RoutingTable is one immutable epoch of the serving plan. All fields are
-// fixed at construction; only the metrics and the in-flight refcount
-// mutate, and those are concurrency-safe.
+// DefaultModel is the model name single-model deployments serve under. A
+// request whose Model field is empty routes here, which keeps the
+// single-variant API (BuildElastic, NewRouter, Acquire) unchanged.
+const DefaultModel = "default"
+
+// canonicalModel maps the empty model name onto DefaultModel so "" and
+// "default" address the same plan everywhere (wire format included).
+func canonicalModel(name string) string {
+	if name == "" {
+		return DefaultModel
+	}
+	return name
+}
+
+// RoutingTable is one immutable epoch of one model's serving plan. All
+// fields are fixed at construction; only the metrics and the in-flight
+// refcount mutate, and those are concurrency-safe.
 type RoutingTable struct {
-	// Epoch numbers plans monotonically; epoch 0 is the BuildElastic plan.
+	// Model names the DLRM variant this plan serves. Empty means the
+	// deployment's default model; the Router canonicalizes it on
+	// registration.
+	Model string
+	// Epoch numbers the model's plans monotonically; epoch 0 is the
+	// BuildElastic/BuildMulti plan. Epochs advance per model — model A's
+	// swap never moves model B's epoch.
 	Epoch int64
 	// Pre is the epoch's preprocessing output (hotness sort + remap). A
 	// nil Pre means requests are already in sorted-ID space.
@@ -43,9 +69,9 @@ type RoutingTable struct {
 	// Clients, concretely typed for replica scaling).
 	Pools [][]*ReplicaPool
 	// Served counts dense-shard Predict dispatches routed through this
-	// epoch — every dispatch lands in exactly one epoch's counter. With
-	// dynamic batching enabled a fused batch counts once, not once per
-	// fused client request.
+	// epoch — every dispatch lands in exactly one model's one epoch's
+	// counter. With dynamic batching enabled a fused batch counts once,
+	// not once per fused client request.
 	Served *metrics.Counter
 
 	servers  []*RPCServer
@@ -153,46 +179,169 @@ func (rt *RoutingTable) Close() {
 	rt.servers = nil
 }
 
-// Router publishes routing-table epochs to the dense hot path through an
-// atomic pointer. Readers acquire a consistent snapshot per request;
-// writers swap plans without ever blocking readers.
-type Router struct {
+// modelRoute is one registered model's slot in the router: its current
+// epoch pointer and its swap counter. Slots are never removed; the routes
+// map itself is copy-on-write, so the per-request lookup is lock-free.
+type modelRoute struct {
 	current atomic.Pointer[RoutingTable]
-	// Swaps counts published plan swaps (epoch transitions).
+	swaps   metrics.Counter
+}
+
+// Router publishes a (model name -> routing-table epoch) map to the dense
+// hot path. Each model's epochs go through that model's own atomic
+// pointer: readers acquire a consistent per-model snapshot per request;
+// writers swap one model's plan without ever blocking readers — of that
+// model or of any other. Single-model callers keep using the DefaultModel
+// convenience methods (Acquire/Load/Publish).
+type Router struct {
+	// routes is the copy-on-write registry; registerMu serializes
+	// Register, never the request path.
+	routes     atomic.Pointer[map[string]*modelRoute]
+	registerMu sync.Mutex
+	// Swaps counts published plan swaps (epoch transitions) across all
+	// models; per-model counts come from SwapsFor.
 	Swaps *metrics.Counter
 }
 
-// NewRouter creates a router serving the given initial epoch.
-func NewRouter(rt *RoutingTable) *Router {
+// NewMultiRouter creates an empty router; register each model's initial
+// epoch with Register before serving it.
+func NewMultiRouter() *Router {
 	r := &Router{Swaps: &metrics.Counter{}}
-	r.current.Store(rt)
+	empty := map[string]*modelRoute{}
+	r.routes.Store(&empty)
 	return r
 }
 
-// Load returns the current epoch without pinning it. Use Acquire on the
-// request path; Load is for observability (metrics, tests, examples).
-func (r *Router) Load() *RoutingTable { return r.current.Load() }
+// NewRouter creates a router serving the given initial epoch as the
+// default model — the single-variant constructor.
+func NewRouter(rt *RoutingTable) *Router {
+	r := NewMultiRouter()
+	if err := r.Register(DefaultModel, rt); err != nil {
+		panic(err) // unreachable: the registry is empty
+	}
+	return r
+}
 
-// Acquire pins the current epoch for one request and returns it; the
-// caller must release() it when the fan-out completes. The increment-then-
-// recheck dance closes the race with Publish: if the table changed while
-// we were incrementing, the drain of the old epoch may already be
-// watching the count, so back off and pin the fresh table instead.
-func (r *Router) Acquire() *RoutingTable {
+// Register adds a model with its initial epoch. Registering an
+// already-served model is an error — epoch succession goes through
+// Publish, not Register.
+func (r *Router) Register(mdl string, rt *RoutingTable) error {
+	if rt == nil {
+		return fmt.Errorf("serving: register model %q with a nil routing table", mdl)
+	}
+	name := canonicalModel(mdl)
+	rt.Model = name
+	r.registerMu.Lock()
+	defer r.registerMu.Unlock()
+	old := *r.routes.Load()
+	if _, dup := old[name]; dup {
+		return fmt.Errorf("serving: model %q already registered", name)
+	}
+	next := make(map[string]*modelRoute, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	mr := &modelRoute{}
+	mr.current.Store(rt)
+	next[name] = mr
+	r.routes.Store(&next)
+	return nil
+}
+
+// route returns the model's slot (nil when unregistered); one atomic load.
+func (r *Router) route(mdl string) *modelRoute {
+	return (*r.routes.Load())[canonicalModel(mdl)]
+}
+
+// Models returns the registered model names, sorted.
+func (r *Router) Models() []string {
+	routes := *r.routes.Load()
+	out := make([]string, 0, len(routes))
+	for name := range routes {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LoadModel returns the model's current epoch without pinning it (nil when
+// the model is not registered). Use AcquireModel on the request path;
+// LoadModel is for observability (metrics, tests, examples).
+func (r *Router) LoadModel(mdl string) *RoutingTable {
+	mr := r.route(mdl)
+	if mr == nil {
+		return nil
+	}
+	return mr.current.Load()
+}
+
+// Load returns the default model's current epoch without pinning it.
+func (r *Router) Load() *RoutingTable { return r.LoadModel(DefaultModel) }
+
+// AcquireModel pins the model's current epoch for one request and returns
+// it; the caller must release() it when the fan-out completes. The
+// increment-then-recheck dance closes the race with Publish: if the table
+// changed while we were incrementing, the drain of the old epoch may
+// already be watching the count, so back off and pin the fresh table
+// instead.
+func (r *Router) AcquireModel(mdl string) (*RoutingTable, error) {
+	mr := r.route(mdl)
+	if mr == nil {
+		return nil, fmt.Errorf("serving: router serves no model %q (have %v)", canonicalModel(mdl), r.Models())
+	}
 	for {
-		rt := r.current.Load()
+		rt := mr.current.Load()
 		rt.inflight.Add(1)
-		if r.current.Load() == rt {
-			return rt
+		if mr.current.Load() == rt {
+			return rt, nil
 		}
 		rt.release()
 	}
 }
 
-// Publish atomically installs next as the current epoch and returns the
-// superseded table (drain and close it to finish the swap).
-func (r *Router) Publish(next *RoutingTable) *RoutingTable {
-	prev := r.current.Swap(next)
+// Acquire pins the default model's current epoch (single-variant
+// convenience; panics when no default model is registered — a router from
+// NewRouter always has one).
+func (r *Router) Acquire() *RoutingTable {
+	rt, err := r.AcquireModel(DefaultModel)
+	if err != nil {
+		panic(err)
+	}
+	return rt
+}
+
+// PublishModel atomically installs next as the model's current epoch and
+// returns the superseded table (drain and close it to finish the swap).
+// Other models' epochs, in-flight requests and counters are untouched.
+func (r *Router) PublishModel(mdl string, next *RoutingTable) (*RoutingTable, error) {
+	mr := r.route(mdl)
+	if mr == nil {
+		return nil, fmt.Errorf("serving: publish to unregistered model %q", canonicalModel(mdl))
+	}
+	next.Model = canonicalModel(mdl)
+	prev := mr.current.Swap(next)
+	mr.swaps.Inc(1)
 	r.Swaps.Inc(1)
+	return prev, nil
+}
+
+// Publish atomically installs next as the default model's current epoch
+// and returns the superseded table (single-variant convenience; panics
+// when no default model is registered).
+func (r *Router) Publish(next *RoutingTable) *RoutingTable {
+	prev, err := r.PublishModel(DefaultModel, next)
+	if err != nil {
+		panic(err)
+	}
 	return prev
+}
+
+// SwapsFor returns how many plan swaps the model has gone through (0 when
+// the model is not registered).
+func (r *Router) SwapsFor(mdl string) int64 {
+	mr := r.route(mdl)
+	if mr == nil {
+		return 0
+	}
+	return mr.swaps.Value()
 }

@@ -52,6 +52,15 @@ type TableBatch struct {
 // snapshot, so batching and plan swaps can never mix ID spaces), and
 // hotness-sorted IDs when it does not.
 type PredictRequest struct {
+	// Model names the DLRM variant the request addresses. Empty routes to
+	// the deployment's default model, so single-variant clients never set
+	// it. The field rides the net/rpc wire format: a multi-model frontend
+	// dispatches on it, and every model-aware service (dense shard,
+	// batcher) rejects a mismatched request rather than serve it with the
+	// wrong variant's parameters. Gathers carry no model field — a gather
+	// fan-out happens strictly inside one pinned epoch of one model, so
+	// the model is implied by the shard client the epoch hands out.
+	Model     string
 	BatchSize int
 	DenseDim  int
 	Dense     []float32 // BatchSize x DenseDim, row-major
