@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short race race-repartition bench bench-smoke bench-json fmt fmt-check vet lint-doc ci
+.PHONY: build test test-short race race-repartition bench bench-smoke bench-json bench-guard fmt fmt-check vet lint-doc ci
 
 build:
 	$(GO) build ./...
@@ -35,11 +35,27 @@ bench-smoke:
 # Machine-readable serving-bench artifact: name, ns/op, allocs/op and the
 # closed-loop qps metric per bench row, for run-over-run trajectory diffs.
 # Two steps (not a pipe) so a bench crash fails the target instead of
-# being masked by benchjson's exit status.
+# being masked by benchjson's exit status. BENCH_serving.json is checked
+# in as the bench-guard baseline — commit the refresh when a change
+# legitimately moves it.
 bench-json:
 	$(GO) test -run='^$$' -bench='Serving' -benchmem -benchtime=20x . > bench-serving.txt
 	$(GO) run ./cmd/benchjson < bench-serving.txt > BENCH_serving.json
 	@echo "wrote BENCH_serving.json"
+
+# Bench-regression smoke: re-measure the deterministic serving benches
+# briefly and fail if allocs/op regressed >25% against the checked-in
+# BENCH_serving.json baseline. Only the single-driver rows are guarded
+# (EndToEndPredict and the Repartition regimes): the concurrent rows'
+# allocs/op depends on the batch-fusing ratio, which varies with core
+# count and timing — those stay trajectory-only in BENCH_serving.json.
+# benchtime matches bench-json's 20x so first-op pool-miss allocations
+# amortize identically on both sides. Refresh the baseline with
+# `make bench-json` when a change legitimately moves it.
+bench-guard:
+	$(GO) test -run='^$$' -bench='Serving_(EndToEndPredict|Repartition)' -benchmem -benchtime=20x . > bench-guard.txt
+	$(GO) run ./cmd/benchjson < bench-guard.txt > bench-guard.json
+	$(GO) run ./cmd/benchguard -baseline BENCH_serving.json -current bench-guard.json -filter Serving_EndToEndPredict,Serving_Repartition -max-regress 0.25
 
 fmt:
 	gofmt -w .

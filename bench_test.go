@@ -694,13 +694,10 @@ func BenchmarkAblation_PartitionScheme(b *testing.B) {
 	b.ReportMetric(colGB, "column-wise4-GB")
 }
 
-// BenchmarkServing_RepartitionSwap measures the off-hot-path cost of one
-// zero-downtime plan swap: re-preprocess from fresh statistics, build the
-// next epoch's shard services side-by-side, publish, drain and retire the
-// old epoch. Predict-path cost of a swap is zero by construction (the hot
-// path reads one atomic pointer); this bench tracks the control-plane
-// cost.
-func BenchmarkServing_RepartitionSwap(b *testing.B) {
+// repartitionBenchFixture builds the swap-bench deployment: 2 tables of
+// 20k rows plus the profiling window the plans are cut from.
+func repartitionBenchFixture(b *testing.B, opts serving.BuildOptions, boundaries []int64) (*serving.LiveDeployment, []*embedding.AccessStats) {
+	b.Helper()
 	cfg := model.RM1().WithRows(20_000).WithName("rm1-swap-bench")
 	cfg.NumTables = 2
 	m, err := model.New(cfg, 9)
@@ -725,22 +722,75 @@ func BenchmarkServing_RepartitionSwap(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	ld, err := serving.BuildElastic(m, stats, []int64{2_000, 8_000, cfg.RowsPerTable}, serving.BuildOptions{})
+	ld, err := serving.BuildElastic(m, stats, boundaries, opts)
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer ld.Close()
-	plans := [][]int64{
-		{1_500, 6_000, cfg.RowsPerTable},
-		{2_000, 8_000, cfg.RowsPerTable},
+	return ld, stats
+}
+
+// BenchmarkServing_Repartition measures the control-plane cost of one
+// zero-downtime plan swap under the three epoch-reuse regimes (the
+// Predict-path cost of a swap is zero by construction — the hot path reads
+// one atomic pointer):
+//
+//   - cold: plan cache disabled — every swap re-preprocesses both tables
+//     and rebuilds and re-warms every shard service (the pre-reuse
+//     behaviour).
+//   - cache-hit: both plans stay in the cache — a swap back to a recent
+//     plan reuses the memoized hotness sort and every live shard service.
+//   - incremental: one boundary moves per swap with a one-epoch cache —
+//     only the two moved shards per table are rebuilt; the unchanged
+//     shard services carry over by refcount.
+//
+// The shards-built/op and shards-reused/op metrics assert the regimes
+// structurally (cache-hit must build 0); BENCH_serving.json tracks the
+// latency trajectory run-over-run.
+func BenchmarkServing_Repartition(b *testing.B) {
+	rows := int64(20_000)
+	planA := []int64{2_000, 8_000, rows}
+	planB := []int64{1_500, 6_000, rows} // every boundary moved
+	// The incremental cycle moves only the middle boundary, over three
+	// positions: with a one-epoch cache the returning plan's moved shards
+	// have aged out, so each swap rebuilds exactly the moved shards while
+	// the untouched first shard carries over epoch after epoch.
+	incremental := [][]int64{
+		{2_000, 8_000, rows},
+		{2_000, 9_000, rows},
+		{2_000, 10_000, rows},
 	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := ld.Repartition(context.Background(), stats, plans[i%2]); err != nil {
-			b.Fatal(err)
+	run := func(b *testing.B, opts serving.BuildOptions, plans [][]int64) {
+		ld, stats := repartitionBenchFixture(b, opts, plans[0])
+		defer ld.Close()
+		// Prime the rotation so a caching regime reaches its steady
+		// state before measurement.
+		for i := 0; i < len(plans); i++ {
+			if err := ld.Repartition(context.Background(), stats, plans[(i+1)%len(plans)]); err != nil {
+				b.Fatal(err)
+			}
 		}
+		base := ld.BuildCounters()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := ld.Repartition(context.Background(), stats, plans[(i+1)%len(plans)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		now := ld.BuildCounters()
+		b.ReportMetric(float64(now.ShardsBuilt-base.ShardsBuilt)/float64(b.N), "shards-built/op")
+		b.ReportMetric(float64(now.ShardsReused-base.ShardsReused)/float64(b.N), "shards-reused/op")
 	}
+	b.Run("cold", func(b *testing.B) {
+		run(b, serving.BuildOptions{PlanCacheEpochs: -1}, [][]int64{planA, planB})
+	})
+	b.Run("cache-hit", func(b *testing.B) {
+		run(b, serving.BuildOptions{}, [][]int64{planA, planB})
+	})
+	b.Run("incremental", func(b *testing.B) {
+		run(b, serving.BuildOptions{PlanCacheEpochs: 1}, incremental)
+	})
 }
 
 // BenchmarkServing_MonolithPredict measures the model-wise baseline's

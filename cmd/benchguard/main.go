@@ -1,0 +1,121 @@
+// Command benchguard compares two BENCH_serving.json-style files (see
+// cmd/benchjson) and fails when a benchmark's allocs/op regressed past a
+// threshold against the checked-in baseline. CI runs it after the smoke
+// benches so an allocation regression on the Predict hot path fails the
+// build instead of silently accreting; allocs/op is compared (not ns/op)
+// because it is deterministic across runner hardware.
+//
+// Usage:
+//
+//	benchguard -baseline BENCH_serving.json -current bench-guard.json \
+//	    -filter Predict -max-regress 0.25
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// BenchRow is the subset of cmd/benchjson's output benchguard compares.
+type BenchRow struct {
+	Name        string  `json:"name"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// loadRows reads a benchjson artifact into a name-keyed map.
+func loadRows(path string) (map[string]BenchRow, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []BenchRow
+	if err := json.Unmarshal(raw, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]BenchRow, len(rows))
+	for _, r := range rows {
+		out[r.Name] = r
+	}
+	return out, nil
+}
+
+// regression describes one benchmark that got worse past the threshold.
+type regression struct {
+	name             string
+	baseline, actual float64
+}
+
+// matchesAny reports whether name contains at least one of the
+// comma-separated substrings in filter (an empty filter matches all).
+func matchesAny(name, filter string) bool {
+	if filter == "" {
+		return true
+	}
+	for _, sub := range strings.Split(filter, ",") {
+		if sub != "" && strings.Contains(name, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// check compares current against baseline on allocs/op for names matching
+// filter (comma-separated substrings), returning the regressions past
+// maxRegress (a fraction: 0.25 allows +25%). Benches absent from either
+// side, or with a zero baseline, are skipped — new benches must not fail
+// the guard retroactively.
+func check(baseline, current map[string]BenchRow, filter string, maxRegress float64) (compared int, regs []regression) {
+	for name, base := range baseline {
+		if !matchesAny(name, filter) {
+			continue
+		}
+		cur, ok := current[name]
+		if !ok || base.AllocsPerOp <= 0 {
+			continue
+		}
+		compared++
+		if cur.AllocsPerOp > base.AllocsPerOp*(1+maxRegress) {
+			regs = append(regs, regression{name: name, baseline: base.AllocsPerOp, actual: cur.AllocsPerOp})
+		}
+	}
+	return compared, regs
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_serving.json", "checked-in baseline artifact")
+	currentPath := flag.String("current", "", "freshly measured artifact to judge")
+	filter := flag.String("filter", "Predict", "only guard benchmark names containing one of these comma-separated substrings")
+	maxRegress := flag.Float64("max-regress", 0.25, "allowed fractional allocs/op regression (0.25 = +25%)")
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -current is required")
+		os.Exit(2)
+	}
+	baseline, err := loadRows(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	current, err := loadRows(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	compared, regs := check(baseline, current, *filter, *maxRegress)
+	if compared == 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: no %q benches in common between %s and %s\n",
+			*filter, *baselinePath, *currentPath)
+		os.Exit(2)
+	}
+	if len(regs) > 0 {
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "benchguard: %s allocs/op regressed %.0f -> %.0f (>%+.0f%%)\n",
+				r.name, r.baseline, r.actual, *maxRegress*100)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: %d benches within +%.0f%% allocs/op of baseline\n", compared, *maxRegress*100)
+}

@@ -1,0 +1,69 @@
+package main
+
+import "testing"
+
+func rows(pairs map[string]float64) map[string]BenchRow {
+	out := make(map[string]BenchRow, len(pairs))
+	for name, allocs := range pairs {
+		out[name] = BenchRow{Name: name, AllocsPerOp: allocs}
+	}
+	return out
+}
+
+func TestCheckPassesWithinThreshold(t *testing.T) {
+	base := rows(map[string]float64{"BenchmarkServing_EndToEndPredict": 100})
+	cur := rows(map[string]float64{"BenchmarkServing_EndToEndPredict": 124})
+	compared, regs := check(base, cur, "Predict", 0.25)
+	if compared != 1 || len(regs) != 0 {
+		t.Fatalf("compared=%d regs=%v, want 1 compared and no regressions", compared, regs)
+	}
+}
+
+func TestCheckFlagsRegression(t *testing.T) {
+	base := rows(map[string]float64{"BenchmarkServing_EndToEndPredict": 100})
+	cur := rows(map[string]float64{"BenchmarkServing_EndToEndPredict": 126})
+	_, regs := check(base, cur, "Predict", 0.25)
+	if len(regs) != 1 {
+		t.Fatalf("regs = %v, want the +26%% regression flagged", regs)
+	}
+	if regs[0].baseline != 100 || regs[0].actual != 126 {
+		t.Fatalf("regs[0] = %+v", regs[0])
+	}
+}
+
+func TestCheckSkipsUnmatchedAndFiltered(t *testing.T) {
+	base := rows(map[string]float64{
+		"BenchmarkServing_EndToEndPredict":  100,
+		"BenchmarkServing_Repartition/cold": 200, // filtered out
+		"BenchmarkGoneFromCurrent":          50,  // no current row
+		"BenchmarkServing_ZeroPredict":      0,   // zero baseline
+	})
+	cur := rows(map[string]float64{
+		"BenchmarkServing_EndToEndPredict":  9999, // regressed but we only count it once
+		"BenchmarkServing_Repartition/cold": 9999,
+		"BenchmarkServing_ZeroPredict":      10,
+	})
+	compared, regs := check(base, cur, "Predict", 0.25)
+	if compared != 1 {
+		t.Fatalf("compared = %d, want 1 (filtered/unmatched/zero rows skipped)", compared)
+	}
+	if len(regs) != 1 || regs[0].name != "BenchmarkServing_EndToEndPredict" {
+		t.Fatalf("regs = %v", regs)
+	}
+}
+
+func TestMatchesAnyCommaSeparated(t *testing.T) {
+	for _, tc := range []struct {
+		name, filter string
+		want         bool
+	}{
+		{"BenchmarkServing_EndToEndPredict", "Serving_EndToEndPredict,Serving_Repartition", true},
+		{"BenchmarkServing_Repartition/cache-hit", "Serving_EndToEndPredict,Serving_Repartition", true},
+		{"BenchmarkServing_ConcurrentPredict/batched/clients=8", "Serving_EndToEndPredict,Serving_Repartition", false},
+		{"BenchmarkAnything", "", true},
+	} {
+		if got := matchesAny(tc.name, tc.filter); got != tc.want {
+			t.Fatalf("matchesAny(%q, %q) = %v, want %v", tc.name, tc.filter, got, tc.want)
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/embedding"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/serving"
 	"repro/internal/workload"
@@ -177,10 +178,16 @@ func main() {
 	fmt.Printf("multi-model predict frontend (dynamic batching per model) exported at %s\n", addr)
 
 	// Live autoscaler: every shard of every variant's current epoch scales
-	// on the offered QPS. buildScaled is re-run after every epoch swap so
-	// the control loop always scales the epochs that are actually serving.
-	var mu sync.Mutex
-	currentQPS := 0.0
+	// on its OWN variant's offered QPS — the per-model attribution split.
+	// One meter per variant is marked as requests are issued, keyed by the
+	// request's Model field, so a traffic spike on "hot" never scales
+	// "slow"'s pools (and vice versa). buildScaled is re-run after every
+	// epoch swap so the control loop always scales the epochs that are
+	// actually serving.
+	offered := map[string]*metrics.QPSMeter{}
+	for _, v := range variants {
+		offered[v.name] = metrics.NewQPSMeter(2 * time.Second)
+	}
 	buildScaled := func() []*serving.AutoscaledShard {
 		scaled := []*serving.AutoscaledShard{}
 		for _, v := range variants {
@@ -213,10 +220,11 @@ func main() {
 	as := &serving.LiveAutoscaler{
 		Shards:   buildScaled(),
 		Interval: 500 * time.Millisecond,
-		OfferedQPS: func(string) float64 {
-			mu.Lock()
-			defer mu.Unlock()
-			return currentQPS
+		OfferedModelQPS: func(model string) float64 {
+			if m, ok := offered[model]; ok {
+				return m.Rate()
+			}
+			return 0
 		},
 	}
 	// One repartition loop per variant, sharing one policy: firing state
@@ -286,15 +294,13 @@ func main() {
 				fmt.Printf("-> hotness drift injected into %q at %v\n", v.name, at.Round(time.Millisecond))
 			}
 		}
-		mu.Lock()
-		currentQPS = pattern.QPSAt(at)
-		mu.Unlock()
 		v := variants[0]
 		if total%3 == 2 {
 			v = variants[1]
 		}
 		total++
 		v.served++
+		offered[v.name].Mark()
 		wg.Add(1)
 		// Build the request on the arrival loop (the generators are not
 		// concurrency-safe), then issue it from its own client goroutine.
@@ -319,8 +325,8 @@ func main() {
 	for _, v := range variants {
 		ld, _ := md.Deployment(v.name)
 		rt := ld.Table()
-		fmt.Printf("model %q: %d queries, epoch %d (%d swaps), dense P50=%v P95=%v\n",
-			v.name, v.served, rt.Epoch, md.Router.SwapsFor(v.name),
+		fmt.Printf("model %q: %d queries (%.1f offered qps at close), epoch %d (%d swaps), dense P50=%v P95=%v\n",
+			v.name, v.served, offered[v.name].Rate(), rt.Epoch, md.Router.SwapsFor(v.name),
 			ld.Dense.Latency.Quantile(0.50).Round(time.Microsecond),
 			ld.Dense.Latency.Quantile(0.95).Round(time.Microsecond))
 		fmt.Printf("model %q batcher: %d requests fused into %d batches (mean batch %.1f inputs)\n",

@@ -39,25 +39,48 @@ func Split(batch *embedding.Batch, boundaries []int64) ([]*embedding.Batch, erro
 	numShards := len(boundaries)
 	bs := batch.BatchSize()
 
+	// Two passes with exact-size backing arrays: count each shard's
+	// lookups first, then carve every shard's index/offset slices out of
+	// one allocation each — no append growth, and a fixed six allocations
+	// regardless of batch or shard count.
+	counts := make([]int64, numShards)
+	for _, idx := range batch.Indices {
+		if idx < 0 || idx >= rows {
+			return nil, fmt.Errorf("bucketize: index %d outside table of %d rows", idx, rows)
+		}
+		counts[ShardOf(idx, boundaries)]++
+	}
+	idxBack := make([]int64, len(batch.Indices))
+	offBack := make([]int32, numShards*bs)
+	batches := make([]embedding.Batch, numShards)
 	out := make([]*embedding.Batch, numShards)
-	for s := range out {
-		out[s] = &embedding.Batch{Offsets: make([]int32, bs)}
+	starts := make([]int64, numShards)
+	cursors := make([]int64, numShards)
+	pos := int64(0)
+	for s := 0; s < numShards; s++ {
+		starts[s], cursors[s] = pos, pos
+		pos += counts[s]
 	}
 	for i := 0; i < bs; i++ {
-		for s := range out {
-			out[s].Offsets[i] = int32(len(out[s].Indices))
+		for s := 0; s < numShards; s++ {
+			offBack[s*bs+i] = int32(cursors[s] - starts[s])
 		}
 		for _, idx := range batch.InputIndices(i) {
-			if idx < 0 || idx >= rows {
-				return nil, fmt.Errorf("bucketize: index %d outside table of %d rows", idx, rows)
-			}
 			s := ShardOf(idx, boundaries)
 			lo := int64(0)
 			if s > 0 {
 				lo = boundaries[s-1]
 			}
-			out[s].Indices = append(out[s].Indices, idx-lo)
+			idxBack[cursors[s]] = idx - lo
+			cursors[s]++
 		}
+	}
+	for s := 0; s < numShards; s++ {
+		batches[s] = embedding.Batch{
+			Indices: idxBack[starts[s]:cursors[s]:cursors[s]],
+			Offsets: offBack[s*bs : (s+1)*bs : (s+1)*bs],
+		}
+		out[s] = &batches[s]
 	}
 	return out, nil
 }

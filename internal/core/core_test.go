@@ -299,11 +299,12 @@ func TestRepartitionTable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Rows) != 3 {
+	if len(tab.Rows) != 4 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
-	// The loop's contract: zero failed requests in every phase, and the
-	// repartitioned phase serves from epoch 1.
+	// The loop's contract: zero failed requests in every phase, the
+	// repartitioned phase serves from epoch 1, and the revert phase (a
+	// plan-cache hit back to the original stats/boundaries) from epoch 2.
 	for _, row := range tab.Rows {
 		if row[4] != "0" {
 			t.Fatalf("phase %s dropped %s requests during the swap", row[0], row[4])
@@ -311,5 +312,8 @@ func TestRepartitionTable(t *testing.T) {
 	}
 	if tab.Rows[2][1] != "1" {
 		t.Fatalf("repartitioned phase epoch = %s, want 1", tab.Rows[2][1])
+	}
+	if tab.Rows[3][1] != "2" {
+		t.Fatalf("reverted phase epoch = %s, want 2", tab.Rows[3][1])
 	}
 }

@@ -134,7 +134,8 @@ func RepartitionTable() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := ld.Repartition(context.Background(), window, newBoundaries); err != nil {
+	driftRep, err := ld.RepartitionReport(context.Background(), window, newBoundaries)
+	if err != nil {
 		return nil, err
 	}
 	failed, err = serve(queries)
@@ -143,8 +144,28 @@ func RepartitionTable() (*Table, error) {
 	}
 	row("repartitioned", queries, failed)
 
+	// Phase 4: hotness snaps back to the original distribution — the plan
+	// cache makes the return swap nearly free (memoized hotness sort, all
+	// shard services reused from epoch 0, nothing rebuilt or re-warmed).
+	drift.SetShift(0)
+	revertRep, err := ld.RepartitionReport(context.Background(), stats, boundaries)
+	if err != nil {
+		return nil, err
+	}
+	failed, err = serve(queries)
+	if err != nil {
+		return nil, err
+	}
+	row("reverted (cache hit)", queries, failed)
+
+	counters := ld.BuildCounters()
 	tab.Notes = append(tab.Notes,
-		fmt.Sprintf("plan swaps: %d; old epoch drained and closed while serving continued", ld.Router.Swaps.Value()),
+		fmt.Sprintf("plan swaps: %d; old epochs drained and closed while serving continued", ld.Router.Swaps.Value()),
+		fmt.Sprintf("epoch reuse: drift swap built %d shards (%d reused, cache hit %v, %d rows pre-warmed); revert swap built %d (%d reused, cache hit %v)",
+			driftRep.ShardsBuilt, driftRep.ShardsReused, driftRep.CacheHit, driftRep.WarmedRows,
+			revertRep.ShardsBuilt, revertRep.ShardsReused, revertRep.CacheHit),
+		fmt.Sprintf("lifetime build work: %d preprocesses (%d memoized), %d shards built, %d reused across %d epochs",
+			counters.Preprocesses, counters.PreCacheHits, counters.ShardsBuilt, counters.ShardsReused, ld.Epoch()+1),
 		"utility skew = max-min per-shard memory utility (Fig. 14); aligned plans concentrate it, drift flattens it")
 	return tab, nil
 }

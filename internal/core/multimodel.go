@@ -216,11 +216,16 @@ func MultiModelTable() (*Table, error) {
 	row("B drifted+swapped", varA, 2*queries, failedA)
 	row("B drifted+swapped", varB, 2*queries, failedB)
 
+	ldA, _ := md.Deployment(varA.name)
+	ldB, _ := md.Deployment(varB.name)
+	cA, cB := ldA.BuildCounters(), ldB.BuildCounters()
 	tab.Notes = append(tab.Notes,
 		fmt.Sprintf("swaps: %s=%d, %s=%d (total %d) — epochs advance strictly per model",
 			varA.name, md.Router.SwapsFor(varA.name), varB.name, md.Router.SwapsFor(varB.name),
 			md.Router.Swaps.Value()),
 		"one frontend + one router serve both variants; each repartition drained only its own model's retired epoch",
+		fmt.Sprintf("per-model plan caches: %s built %d shards (%d reused), %s built %d (%d reused) — one variant's swaps never touch the other's cache",
+			varA.name, cA.ShardsBuilt, cA.ShardsReused, varB.name, cB.ShardsBuilt, cB.ShardsReused),
 	)
 	return tab, nil
 }

@@ -28,6 +28,14 @@ type BatcherOptions struct {
 	// MaxDelay bounds how long the oldest queued request waits for
 	// batchmates before the batch is flushed anyway (default 200µs).
 	MaxDelay time.Duration
+	// SoloGrace bounds how long a *lone* request — one that arrives to an
+	// empty queue — waits for its first batchmate before being dispatched
+	// immediately (default MaxDelay/8). A low-concurrency client never has
+	// batchmates, so sleeping out the full MaxDelay for every request just
+	// taxes it; once a first batchmate does arrive within the grace, the
+	// batch keeps filling under the normal MaxDelay budget. Set SoloGrace
+	// >= MaxDelay to restore the old always-wait behaviour.
+	SoloGrace time.Duration
 	// MaxInFlight bounds how many fused batches may execute concurrently
 	// (default GOMAXPROCS); the collector applies backpressure beyond it.
 	MaxInFlight int
@@ -42,6 +50,9 @@ func (o *BatcherOptions) defaults() {
 	}
 	if o.MaxDelay <= 0 {
 		o.MaxDelay = 200 * time.Microsecond
+	}
+	if o.SoloGrace <= 0 {
+		o.SoloGrace = o.MaxDelay / 8
 	}
 	if o.MaxInFlight <= 0 {
 		o.MaxInFlight = runtime.GOMAXPROCS(0)
@@ -178,19 +189,54 @@ func (b *Batcher) collect() {
 		batch := []*pendingPredict{first}
 		total := first.req.BatchSize
 		closing := false
+		solo := false
 		timer := time.NewTimer(b.opts.MaxDelay)
-	fill:
-		for total < b.opts.MaxBatch {
-			select {
-			case p, ok := <-b.reqs:
-				if !ok {
-					closing = true
+		if total < b.opts.MaxBatch && len(b.reqs) == 0 && b.opts.SoloGrace < b.opts.MaxDelay {
+			// The request arrived to an empty queue: give a first
+			// batchmate only the short grace, then dispatch immediately
+			// instead of sleeping out MaxDelay — the low-concurrency fix
+			// (a single closed-loop client never has batchmates). Short
+			// graces poll cooperatively: timers overshoot tens-of-µs
+			// sleeps by up to a millisecond under coarse kernel timer
+			// slack, which would hand the whole regression right back.
+			if b.opts.SoloGrace <= time.Millisecond {
+				deadline := time.Now().Add(b.opts.SoloGrace)
+				for len(b.reqs) == 0 && time.Now().Before(deadline) {
+					runtime.Gosched()
+				}
+				solo = len(b.reqs) == 0
+				// A batchmate made it in: the fill loop below receives
+				// it without blocking and keeps filling under MaxDelay.
+			} else {
+				grace := time.NewTimer(b.opts.SoloGrace)
+				select {
+				case p, ok := <-b.reqs:
+					if !ok {
+						closing = true
+					} else {
+						batch = append(batch, p)
+						total += p.req.BatchSize
+					}
+				case <-grace.C:
+					solo = true
+				}
+				grace.Stop()
+			}
+		}
+		if !closing && !solo {
+		fill:
+			for total < b.opts.MaxBatch {
+				select {
+				case p, ok := <-b.reqs:
+					if !ok {
+						closing = true
+						break fill
+					}
+					batch = append(batch, p)
+					total += p.req.BatchSize
+				case <-timer.C:
 					break fill
 				}
-				batch = append(batch, p)
-				total += p.req.BatchSize
-			case <-timer.C:
-				break fill
 			}
 		}
 		timer.Stop()

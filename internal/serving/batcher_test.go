@@ -130,32 +130,56 @@ func TestBatcherMaxBatchCoalescing(t *testing.T) {
 	}
 }
 
-// TestBatcherDeadlineFlush: a lone sub-max request must not wait for
-// batchmates forever — it flushes once MaxDelay elapses.
+// TestBatcherDeadlineFlush: a lone sub-max request arriving to an empty
+// queue dispatches after the short solo grace instead of sleeping out the
+// full MaxDelay — the low-concurrency fix. Setting SoloGrace >= MaxDelay
+// restores the old always-wait behaviour.
 func TestBatcherDeadlineFlush(t *testing.T) {
-	backend := &recordingBackend{}
 	const delay = 40 * time.Millisecond
-	b := NewBatcher(backend, batcherConfig(), BatcherOptions{
-		MaxBatch: 1 << 20,
-		MaxDelay: delay,
-	})
-	defer b.Close()
+	t.Run("solo-grace-dispatches-early", func(t *testing.T) {
+		backend := &recordingBackend{}
+		b := NewBatcher(backend, batcherConfig(), BatcherOptions{
+			MaxBatch: 1 << 20,
+			MaxDelay: delay, // default SoloGrace = delay/8
+		})
+		defer b.Close()
 
-	start := time.Now()
-	var reply PredictReply
-	if err := b.Predict(bg, singleInputRequest(7), &reply); err != nil {
-		t.Fatal(err)
-	}
-	elapsed := time.Since(start)
-	if elapsed < delay/2 {
-		t.Fatalf("flushed after %v, expected to wait ~%v for batchmates", elapsed, delay)
-	}
-	if reply.Probs[0] != 7 {
-		t.Fatalf("probs = %v", reply.Probs)
-	}
-	if got := backend.batchSizes(); len(got) != 1 || got[0] != 1 {
-		t.Fatalf("backend batches = %v, want [1]", got)
-	}
+		start := time.Now()
+		var reply PredictReply
+		if err := b.Predict(bg, singleInputRequest(7), &reply); err != nil {
+			t.Fatal(err)
+		}
+		if elapsed := time.Since(start); elapsed >= delay {
+			t.Fatalf("lone request flushed after %v, expected well before MaxDelay %v (solo grace)", elapsed, delay)
+		}
+		if reply.Probs[0] != 7 {
+			t.Fatalf("probs = %v", reply.Probs)
+		}
+		if got := backend.batchSizes(); len(got) != 1 || got[0] != 1 {
+			t.Fatalf("backend batches = %v, want [1]", got)
+		}
+	})
+	t.Run("grace-disabled-waits-maxdelay", func(t *testing.T) {
+		backend := &recordingBackend{}
+		b := NewBatcher(backend, batcherConfig(), BatcherOptions{
+			MaxBatch:  1 << 20,
+			MaxDelay:  delay,
+			SoloGrace: delay, // >= MaxDelay: old always-wait behaviour
+		})
+		defer b.Close()
+
+		start := time.Now()
+		var reply PredictReply
+		if err := b.Predict(bg, singleInputRequest(7), &reply); err != nil {
+			t.Fatal(err)
+		}
+		if elapsed := time.Since(start); elapsed < delay/2 {
+			t.Fatalf("flushed after %v, expected to wait ~%v for batchmates", elapsed, delay)
+		}
+		if got := backend.batchSizes(); len(got) != 1 || got[0] != 1 {
+			t.Fatalf("backend batches = %v, want [1]", got)
+		}
+	})
 }
 
 // TestBatcherFuseRebasesOffsets pins the fusion wire format: dense rows

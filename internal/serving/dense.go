@@ -31,8 +31,37 @@ type DenseShard struct {
 
 	dense *model.Model // parameters read-only; scratch comes from its pool
 
+	// scratch recycles the per-request fan-out buffers (gather calls,
+	// bucketized indices/offsets, merged pooled sums) across Predicts, so
+	// the steady-state hot path allocates almost nothing besides the
+	// reply itself.
+	scratch sync.Pool
+
 	Latency *metrics.LatencyRecorder
 	QPS     *metrics.QPSMeter
+}
+
+// predictScratch is one Predict call's reusable working set. Every slice
+// is grown on demand and retained; the gather goroutines only ever touch
+// it between the fan-out start and wg.Wait, so recycling after Predict
+// returns can never race an in-flight gather.
+type predictScratch struct {
+	calls   []gatherCall
+	counts  []int   // per-shard lookup counts of the table being split
+	starts  []int   // per-shard segment starts within idxBuf
+	cursors []int   // per-shard fill cursors within idxBuf
+	idxBuf  []int64 // backing for every shard's rebased indices
+	offBuf  []int32 // backing for every shard's local offsets
+	pooled  []float32
+	rows    []tensor.Vector
+}
+
+// growInts resizes an int scratch slice to length n.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
 }
 
 // NewDenseShard wires a dense service over a routing layer, serving the
@@ -102,39 +131,118 @@ func (d *DenseShard) Predict(ctx context.Context, req *PredictRequest, reply *Pr
 	}
 	defer rt.release()
 
-	if rt.Pre != nil {
-		remapped, err := rt.Pre.RemapRequest(req)
-		if err != nil {
-			return err
-		}
-		req = remapped
+	sc, _ := d.scratch.Get().(*predictScratch)
+	if sc == nil {
+		sc = &predictScratch{}
 	}
+	defer d.scratch.Put(sc)
 
-	// Bucketize every table's batch across the epoch's shards (Sec. IV-C).
-	var calls []*gatherCall
-	for t := 0; t < d.cfg.NumTables; t++ {
-		b := &embedding.Batch{Indices: req.Tables[t].Indices, Offsets: req.Tables[t].Offsets}
-		parts, err := bucketize.Split(b, rt.Boundaries[t])
-		if err != nil {
-			return fmt.Errorf("serving: table %d: %w", t, err)
+	// Remap + bucketize every table's batch across the epoch's shards in
+	// one fused pass (Sec. IV-C): each original index is translated to
+	// sorted space through the epoch's remap and rebased into its owning
+	// shard's local ID space, with exact-size segments carved out of the
+	// reusable scratch backing (no intermediate remapped request, no
+	// append growth). bucketize.Split is the allocating reference
+	// implementation of the same count-then-carve partition; the
+	// monolith-equivalence tests pin this fused path against it
+	// end-to-end, so a carve fix must land in both.
+	nt := d.cfg.NumTables
+	totalCalls, idxNeed := 0, 0
+	for t := 0; t < nt; t++ {
+		totalCalls += len(rt.Boundaries[t])
+		idxNeed += len(req.Tables[t].Indices)
+	}
+	if cap(sc.calls) < totalCalls {
+		sc.calls = make([]gatherCall, totalCalls)
+	}
+	calls := sc.calls[:totalCalls]
+	if cap(sc.idxBuf) < idxNeed {
+		sc.idxBuf = make([]int64, idxNeed)
+	}
+	if cap(sc.offBuf) < totalCalls*bs {
+		sc.offBuf = make([]int32, totalCalls*bs)
+	}
+	ci, idxPos, offPos := 0, 0, 0
+	for t := 0; t < nt; t++ {
+		tb := &req.Tables[t]
+		bnd := rt.Boundaries[t]
+		ns := len(bnd)
+		var rank []int64
+		if rt.Pre != nil {
+			rank = rt.Pre.RankOf[t]
 		}
-		for s, part := range parts {
-			calls = append(calls, &gatherCall{
+		sc.counts = growInts(sc.counts, ns)
+		counts := sc.counts
+		for s := range counts {
+			counts[s] = 0
+		}
+		// Pass 1: remap, validate and count each shard's lookups.
+		for _, idx := range tb.Indices {
+			r := idx
+			if rank != nil {
+				if idx < 0 || idx >= int64(len(rank)) {
+					return fmt.Errorf("serving: index %d outside table %d (%d rows)", idx, t, len(rank))
+				}
+				r = rank[idx]
+			} else if idx < 0 || idx >= bnd[ns-1] {
+				return fmt.Errorf("serving: index %d outside table %d (%d rows)", idx, t, bnd[ns-1])
+			}
+			counts[bucketize.ShardOf(r, bnd)]++
+		}
+		sc.starts = growInts(sc.starts, ns)
+		sc.cursors = growInts(sc.cursors, ns)
+		pos := idxPos
+		for s := 0; s < ns; s++ {
+			sc.starts[s], sc.cursors[s] = pos, pos
+			pos += counts[s]
+		}
+		// Pass 2: per input, record every shard's local offset, then
+		// scatter the input's remapped indices into the shard segments.
+		for i := 0; i < bs; i++ {
+			for s := 0; s < ns; s++ {
+				sc.offBuf[offPos+s*bs+i] = int32(sc.cursors[s] - sc.starts[s])
+			}
+			lo := int(tb.Offsets[i])
+			hi := len(tb.Indices)
+			if i+1 < bs {
+				hi = int(tb.Offsets[i+1])
+			}
+			for _, idx := range tb.Indices[lo:hi] {
+				r := idx
+				if rank != nil {
+					r = rank[idx]
+				}
+				s := bucketize.ShardOf(r, bnd)
+				base := int64(0)
+				if s > 0 {
+					base = bnd[s-1]
+				}
+				sc.idxBuf[sc.cursors[s]] = r - base
+				sc.cursors[s]++
+			}
+		}
+		for s := 0; s < ns; s++ {
+			off := offPos + s*bs
+			calls[ci] = gatherCall{
 				table: t,
 				shard: s,
 				req: GatherRequest{
 					Table:   t,
 					Shard:   s,
-					Indices: part.Indices,
-					Offsets: part.Offsets,
+					Indices: sc.idxBuf[sc.starts[s]:sc.cursors[s]:sc.cursors[s]],
+					Offsets: sc.offBuf[off : off+bs : off+bs],
 				},
-			})
+			}
+			ci++
 		}
+		offPos += ns * bs
+		idxPos = pos
 	}
 
 	// Fan the gathers out concurrently — one RPC per (table, shard) — in
 	// errgroup style: the first failure cancels the sibling gathers, and
-	// the wait ensures no straggler lands after Predict returns.
+	// the wait ensures no straggler lands after Predict returns (which is
+	// also what makes recycling the scratch safe).
 	gctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var wg sync.WaitGroup
@@ -146,7 +254,7 @@ func (d *DenseShard) Predict(ctx context.Context, req *PredictRequest, reply *Pr
 			cancel()
 		})
 	}
-	for _, c := range calls {
+	for i := range calls {
 		wg.Add(1)
 		go func(c *gatherCall) {
 			defer wg.Done()
@@ -158,23 +266,36 @@ func (d *DenseShard) Predict(ctx context.Context, req *PredictRequest, reply *Pr
 				fail(fmt.Errorf("serving: gather t%d s%d returned %dx%d, want %dx%d",
 					c.table, c.shard, c.reply.BatchSize, c.reply.Dim, bs, d.cfg.EmbeddingDim))
 			}
-		}(c)
+		}(&calls[i])
 	}
 	wg.Wait()
 	if firstErr != nil {
+		// Recycle whatever reply buffers did land before the failure.
+		for i := range calls {
+			putPooledBuf(calls[i].reply.Pooled)
+			calls[i].reply.Pooled = nil
+		}
 		return firstErr
 	}
 
-	// Merge per-table partial sums (pooling is additive).
-	pooled := make([]*tensor.Matrix, d.cfg.NumTables)
-	for t := range pooled {
-		pooled[t] = tensor.NewMatrix(bs, d.cfg.EmbeddingDim)
+	// Merge per-table partial sums (pooling is additive) into one scratch
+	// backing, returning every reply buffer to the shared pool.
+	dim := d.cfg.EmbeddingDim
+	if cap(sc.pooled) < nt*bs*dim {
+		sc.pooled = make([]float32, nt*bs*dim)
 	}
-	for _, c := range calls {
-		dst := pooled[c.table].Data
-		for i, v := range c.reply.Pooled {
-			dst[i] += v
+	pooled := sc.pooled[:nt*bs*dim]
+	for i := range pooled {
+		pooled[i] = 0
+	}
+	for i := range calls {
+		c := &calls[i]
+		dst := pooled[c.table*bs*dim : (c.table+1)*bs*dim]
+		for j, v := range c.reply.Pooled {
+			dst[j] += v
 		}
+		putPooledBuf(c.reply.Pooled)
+		c.reply.Pooled = nil
 	}
 
 	// Dense forward passes. Scratch is acquired from the model's pool once
@@ -183,11 +304,14 @@ func (d *DenseShard) Predict(ctx context.Context, req *PredictRequest, reply *Pr
 	scratch := d.dense.AcquireScratch()
 	defer d.dense.ReleaseScratch(scratch)
 	probs := make([]float32, bs)
-	rowPooled := make([]tensor.Vector, d.cfg.NumTables)
+	if cap(sc.rows) < nt {
+		sc.rows = make([]tensor.Vector, nt)
+	}
+	rowPooled := sc.rows[:nt]
 	for i := 0; i < bs; i++ {
 		denseRow := tensor.Vector(req.Dense[i*req.DenseDim : (i+1)*req.DenseDim])
 		for t := range rowPooled {
-			rowPooled[t] = pooled[t].Row(i)
+			rowPooled[t] = pooled[(t*bs+i)*dim : (t*bs+i+1)*dim]
 		}
 		p, err := d.dense.ForwardPooledScratch(scratch, denseRow, rowPooled)
 		if err != nil {

@@ -3,6 +3,7 @@ package serving
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -38,7 +39,34 @@ type BuildOptions struct {
 	// batches (see BatcherOptions). A zero-valued options struct enables
 	// batching with defaults.
 	Batching *BatcherOptions
+	// PlanCacheEpochs controls the per-model plan cache that memoizes
+	// Preprocess outputs and shard services across epochs: entries idle
+	// for more than this many epochs are evicted. 0 selects the default
+	// (DefaultPlanCacheEpochs); a negative value disables caching, so
+	// every repartition is a cold build. The age bound is also the memory
+	// bound: under continuously drifting windows (every repartition a new
+	// fingerprint, zero hits) the cache retains at most
+	// PlanCacheEpochs+1 generations of sorted-table copies before
+	// eviction reclaims them — size it against table memory, or disable
+	// caching for workloads that never revisit a distribution.
+	PlanCacheEpochs int
+	// WarmCDF selects how much of the fresh profiling window's access
+	// CDF is pre-touched on freshly built shards before an epoch is
+	// published, so the first post-swap queries don't pay cold latency.
+	// 0 selects the default (DefaultWarmCDF); a negative value disables
+	// pre-warming.
+	WarmCDF float64
 }
+
+// Epoch-reuse defaults (see BuildOptions.PlanCacheEpochs / WarmCDF).
+const (
+	// DefaultPlanCacheEpochs keeps a plan warm for this many epochs past
+	// its last use before the cache evicts it.
+	DefaultPlanCacheEpochs = 4
+	// DefaultWarmCDF pre-touches the rows covering this fraction of the
+	// fresh window's accesses on every freshly built shard.
+	DefaultWarmCDF = 0.9
+)
 
 // LiveDeployment is a fully wired ElasticRec serving instance for one DLRM
 // variant. The partition plan lives in an epoch-versioned Router:
@@ -65,6 +93,14 @@ type LiveDeployment struct {
 	opts   BuildOptions
 	cfg    model.Config
 	model  string // canonical model name this deployment serves
+
+	// cache is the per-model plan cache (epoch-reuse layer); the build
+	// counters tally construction work for the reuse tests and reports.
+	cache        *planCache
+	preBuilds    metrics.Counter
+	preCacheHits metrics.Counter
+	shardsBuilt  metrics.Counter
+	shardsReused metrics.Counter
 
 	servers []*RPCServer // frontend (ExportPredict) servers
 
@@ -101,6 +137,10 @@ func buildModelDeployment(router *Router, name string, m *model.Model, stats []*
 	if opts.Transport == "" {
 		opts.Transport = TransportLocal
 	}
+	cacheAge := int64(opts.PlanCacheEpochs)
+	if cacheAge == 0 {
+		cacheAge = DefaultPlanCacheEpochs
+	}
 	ld := &LiveDeployment{
 		Router:       router,
 		EpochUtility: metrics.NewGaugeVec(),
@@ -108,20 +148,30 @@ func buildModelDeployment(router *Router, name string, m *model.Model, stats []*
 		opts:         opts,
 		cfg:          m.Config,
 		model:        canonicalModel(name),
+		cache:        newPlanCache(cacheAge),
 	}
-	rt, err := ld.buildTable(0, stats, boundaries)
+	rt, _, _, err := ld.buildTable(0, stats, boundaries)
 	if err != nil {
+		// buildTable released the epoch references; drop the cache's so
+		// any units it did build tear their transports down.
+		ld.cache.clear()
+		return nil, err
+	}
+	// On any later constructor failure the deployment is discarded, so
+	// both the epoch's and the cache's unit references must be dropped —
+	// leaving either would leak the shard transports.
+	fail := func(err error) (*LiveDeployment, error) {
+		rt.Close()
+		ld.cache.clear()
 		return nil, err
 	}
 	if err := router.Register(ld.model, rt); err != nil {
-		rt.Close()
-		return nil, err
+		return fail(err)
 	}
 
 	denseModel, err := model.NewDenseOnly(ld.cfg, 0)
 	if err != nil {
-		rt.Close()
-		return nil, err
+		return fail(err)
 	}
 	// The dense shard must score with the same MLP parameters as the
 	// source model, so copy them over.
@@ -129,8 +179,7 @@ func buildModelDeployment(router *Router, name string, m *model.Model, stats []*
 	denseModel.Top = m.Top.Clone()
 	dense, err := NewModelDenseShard(ld.model, denseModel, ld.Router)
 	if err != nil {
-		rt.Close()
-		return nil, err
+		return fail(err)
 	}
 	ld.Dense = dense
 	if opts.Batching != nil {
@@ -139,71 +188,86 @@ func buildModelDeployment(router *Router, name string, m *model.Model, stats []*
 	return ld, nil
 }
 
-// buildTable constructs one routing-table epoch: preprocess from the given
-// stats, slice every table at the boundaries, and spin up shard services,
-// replica pools and transports. The epoch owns everything it builds.
-func (ld *LiveDeployment) buildTable(epoch int64, stats []*embedding.AccessStats, boundaries []int64) (*RoutingTable, error) {
+// buildTable constructs one routing-table epoch: resolve the profiling
+// window against the plan cache (reusing the memoized hotness sort on a
+// fingerprint hit), reuse every shard whose sorted-row range is unchanged
+// (the unit keeps its live service, replica pool and transports across the
+// epoch boundary), build and pre-warm only the shards that actually moved,
+// and age the cache. The returned report says how much was reused; the
+// returned fresh list names the units built this epoch (the caller resets
+// the Fig. 14 utility trackers of every *reused* unit after publishing, so
+// the new epoch's profile counts only its own traffic).
+func (ld *LiveDeployment) buildTable(epoch int64, stats []*embedding.AccessStats, boundaries []int64) (*RoutingTable, SwapReport, []*shardUnit, error) {
+	rep := SwapReport{Epoch: epoch}
 	if len(boundaries) == 0 {
-		return nil, fmt.Errorf("serving: empty partition boundaries")
+		return nil, rep, nil, fmt.Errorf("serving: empty partition boundaries")
 	}
 	if boundaries[len(boundaries)-1] != ld.cfg.RowsPerTable {
-		return nil, fmt.Errorf("serving: boundaries end at %d, table has %d rows",
+		return nil, rep, nil, fmt.Errorf("serving: boundaries end at %d, table has %d rows",
 			boundaries[len(boundaries)-1], ld.cfg.RowsPerTable)
 	}
-	pre, err := Preprocess(ld.source, stats)
-	if err != nil {
-		return nil, err
+	fp := fingerprintStats(stats)
+	pre := ld.cache.lookupPre(fp, epoch)
+	if pre != nil {
+		rep.CacheHit = true
+		ld.preCacheHits.Inc(1)
+	} else {
+		var err error
+		pre, err = Preprocess(ld.source, stats)
+		if err != nil {
+			return nil, rep, nil, err
+		}
+		ld.preBuilds.Inc(1)
+		ld.cache.putPre(fp, pre, epoch)
 	}
 
 	cfg := ld.cfg
 	numShards := len(boundaries)
-	replicaCount := func(s int) int {
-		if s < len(ld.opts.Replicas) && ld.opts.Replicas[s] > 0 {
-			return ld.opts.Replicas[s]
-		}
-		return 1
-	}
 
 	allBoundaries := make([][]int64, cfg.NumTables)
 	allClients := make([][]GatherClient, cfg.NumTables)
-	var allShards [][]*EmbeddingShard
-	var allPools [][]*ReplicaPool
-	var rt *RoutingTable // carries servers/closers for cleanup on error
-	fail := func(err error) (*RoutingTable, error) {
-		if rt != nil {
-			rt.Close()
+	allUnits := make([][]*shardUnit, cfg.NumTables)
+	allShards := make([][]*EmbeddingShard, cfg.NumTables)
+	allPools := make([][]*ReplicaPool, cfg.NumTables)
+	var fresh []*shardUnit // built this epoch; pre-warmed before publish
+	fail := func(err error) (*RoutingTable, SwapReport, []*shardUnit, error) {
+		// Drop the epoch references taken so far; units also held by the
+		// cache stay warm there until eviction or deployment Close.
+		for _, row := range allUnits {
+			for _, u := range row {
+				u.release()
+			}
 		}
-		return nil, err
+		return nil, rep, nil, err
 	}
-	rt = &RoutingTable{}
 	for t := 0; t < cfg.NumTables; t++ {
 		allBoundaries[t] = boundaries
-		var shardRow []*EmbeddingShard
-		var poolRow []*ReplicaPool
-		var clientRow []GatherClient
 		lo := int64(0)
 		for s := 0; s < numShards; s++ {
 			hi := boundaries[s]
-			svc, err := NewEmbeddingShard(t, s, pre.Sorted[t], lo, hi)
-			if err != nil {
-				return fail(err)
-			}
-			shardRow = append(shardRow, svc)
-			pool := NewReplicaPool()
-			for r := 0; r < replicaCount(s); r++ {
-				client, err := exportGather(rt, svc, fmt.Sprintf("E%dT%dS%dR%d", epoch, t, s, r), ld.opts.Transport)
+			key := unitKey{fp: fp, table: t, shard: s, lo: lo, hi: hi}
+			u := ld.cache.lookupUnit(key, epoch)
+			if u != nil {
+				rep.ShardsReused++
+				ld.shardsReused.Inc(1)
+			} else {
+				var err error
+				u, err = ld.buildShardUnit(epoch, t, s, pre, lo, hi)
 				if err != nil {
 					return fail(err)
 				}
-				pool.Add(client)
+				ld.cache.putUnit(key, u, epoch)
+				fresh = append(fresh, u)
+				rep.ShardsBuilt++
+				ld.shardsBuilt.Inc(1)
 			}
-			poolRow = append(poolRow, pool)
-			clientRow = append(clientRow, pool)
+			u.retain() // this epoch's reference
+			allUnits[t] = append(allUnits[t], u)
+			allShards[t] = append(allShards[t], u.svc)
+			allPools[t] = append(allPools[t], u.pool)
+			allClients[t] = append(allClients[t], u.pool)
 			lo = hi
 		}
-		allShards = append(allShards, shardRow)
-		allPools = append(allPools, poolRow)
-		allClients[t] = clientRow
 	}
 
 	built, err := NewRoutingTable(epoch, cfg, pre, allBoundaries, allClients)
@@ -213,14 +277,75 @@ func (ld *LiveDeployment) buildTable(epoch int64, stats []*embedding.AccessStats
 	built.Plan = append([]int64(nil), boundaries...)
 	built.Shards = allShards
 	built.Pools = allPools
-	built.servers = rt.servers
-	built.closers = rt.closers
-	return built, nil
+	built.units = allUnits
+	rep.WarmedRows = ld.warmFresh(pre, fresh)
+	ld.cache.evict(epoch)
+	return built, rep, fresh, nil
+}
+
+// buildShardUnit spins up one shard's service bundle: the embedding-shard
+// service over the sorted rows [lo, hi) of table t, a replica pool at the
+// configured initial replica count, and one transport per replica.
+func (ld *LiveDeployment) buildShardUnit(epoch int64, t, s int, pre *Preprocessed, lo, hi int64) (*shardUnit, error) {
+	svc, err := NewEmbeddingShard(t, s, pre.Sorted[t], lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	u := &shardUnit{table: t, lo: lo, hi: hi, svc: svc, pool: NewReplicaPool()}
+	replicas := 1
+	if s < len(ld.opts.Replicas) && ld.opts.Replicas[s] > 0 {
+		replicas = ld.opts.Replicas[s]
+	}
+	for r := 0; r < replicas; r++ {
+		client, err := exportGather(u, svc, fmt.Sprintf("E%dT%dS%dR%d", epoch, t, s, r), ld.opts.Transport)
+		if err != nil {
+			u.teardown()
+			return nil, err
+		}
+		u.pool.Add(client)
+	}
+	return u, nil
+}
+
+// warmFresh pre-touches the hottest rows of the freshly built shards — the
+// rows covering BuildOptions.WarmCDF of the profiling window's accesses —
+// so the first queries after publish hit warm memory. Shards reused from a
+// previous epoch are already warm and are skipped; returns rows touched.
+func (ld *LiveDeployment) warmFresh(pre *Preprocessed, fresh []*shardUnit) int64 {
+	frac := ld.opts.WarmCDF
+	if frac < 0 || len(fresh) == 0 {
+		return 0
+	}
+	if frac == 0 {
+		frac = DefaultWarmCDF
+	}
+	// hot[t] is the first sorted row past the warm set of table t: the
+	// table is hotness-sorted, so the warm set is the prefix [0, hot[t]).
+	hot := make([]int64, len(pre.CDFs))
+	for t, cdf := range pre.CDFs {
+		rows := cdf.Rows()
+		hot[t] = int64(sort.Search(int(rows), func(j int) bool {
+			return cdf.At(int64(j)+1) >= frac
+		})) + 1
+	}
+	var warmed int64
+	for _, u := range fresh {
+		k := hot[u.table]
+		if u.lo >= k {
+			continue
+		}
+		n := k - u.lo
+		if max := u.hi - u.lo; n > max {
+			n = max
+		}
+		warmed += u.svc.Prewarm(n)
+	}
+	return warmed
 }
 
 // exportGather wraps a shard service in the chosen transport, recording
-// any servers/connections on the owning routing table.
-func exportGather(rt *RoutingTable, svc GatherClient, name string, tr Transport) (GatherClient, error) {
+// any servers/connections on the owning shard unit.
+func exportGather(u *shardUnit, svc GatherClient, name string, tr Transport) (GatherClient, error) {
 	switch tr {
 	case TransportLocal:
 		return svc, nil
@@ -233,12 +358,12 @@ func exportGather(rt *RoutingTable, svc GatherClient, name string, tr Transport)
 			srv.Close()
 			return nil, err
 		}
-		rt.servers = append(rt.servers, srv)
+		u.servers = append(u.servers, srv)
 		client, err := DialGather(srv.Addr(), name)
 		if err != nil {
 			return nil, err
 		}
-		rt.closers = append(rt.closers, client)
+		u.closers = append(u.closers, client)
 		return client, nil
 	default:
 		return nil, fmt.Errorf("serving: unknown transport %q", tr)
@@ -254,28 +379,75 @@ func exportGather(rt *RoutingTable, svc GatherClient, name string, tr Transport)
 // plans — each pins one epoch for its whole fan-out — and on a shared
 // router every other model's epochs and in-flight requests are untouched.
 func (ld *LiveDeployment) Repartition(ctx context.Context, stats []*embedding.AccessStats, newBoundaries []int64) error {
+	_, err := ld.RepartitionReport(ctx, stats, newBoundaries)
+	return err
+}
+
+// RepartitionReport is Repartition returning the epoch-reuse accounting:
+// whether the plan cache supplied the preprocessing, how many shard
+// services were reused versus rebuilt, and how many rows were pre-warmed.
+// The repartition trigger loop feeds the report to the staleness policy so
+// cheap (fully reused) swaps can run on a shorter re-trigger interval.
+func (ld *LiveDeployment) RepartitionReport(ctx context.Context, stats []*embedding.AccessStats, newBoundaries []int64) (SwapReport, error) {
 	ld.repartitionMu.Lock()
 	defer ld.repartitionMu.Unlock()
 
 	old := ld.Router.LoadModel(ld.model)
-	next, err := ld.buildTable(old.Epoch+1, stats, newBoundaries)
+	next, rep, fresh, err := ld.buildTable(old.Epoch+1, stats, newBoundaries)
 	if err != nil {
-		return fmt.Errorf("serving: repartition: %w", err)
+		return rep, fmt.Errorf("serving: repartition: %w", err)
 	}
 	retired, err := ld.Router.PublishModel(ld.model, next)
 	if err != nil {
 		next.Close()
-		return fmt.Errorf("serving: repartition: %w", err)
+		return rep, fmt.Errorf("serving: repartition: %w", err)
 	}
+	// Freeze the retiring epoch's final utilities first, then zero the
+	// reused services' trackers: a shared shard's tracker would otherwise
+	// carry the old epoch's (flattened) profile into the new one and
+	// immediately re-trip the staleness policy. Gathers still in flight
+	// on the retiring epoch may land after the reset; their touches smear
+	// into the new epoch's profile, which the policy's served-count
+	// warm-up absorbs.
+	ld.recordEpochUtility(retired)
+	ld.resetReusedUtility(next, fresh)
 	if err := retired.Drain(ctx); err != nil {
 		// The new epoch is live; the old one could not be drained in
 		// time and is intentionally leaked rather than closed under an
 		// in-flight request.
-		return err
+		return rep, err
 	}
-	ld.recordEpochUtility(retired)
 	retired.Close()
-	return nil
+	return rep, nil
+}
+
+// resetReusedUtility clears the Fig. 14 utility trackers of every unit of
+// the new epoch that was carried over from an earlier epoch (fresh units
+// already start empty), so per-epoch utility semantics survive reuse.
+func (ld *LiveDeployment) resetReusedUtility(next *RoutingTable, fresh []*shardUnit) {
+	isFresh := make(map[*shardUnit]bool, len(fresh))
+	for _, u := range fresh {
+		isFresh[u] = true
+	}
+	for _, row := range next.units {
+		for _, u := range row {
+			if !isFresh[u] {
+				u.svc.Utility.Reset()
+			}
+		}
+	}
+}
+
+// BuildCounters returns the deployment-lifetime plan-construction tally
+// (the epoch-reuse spy: cache-hit repartitions must not move Preprocesses
+// or ShardsBuilt).
+func (ld *LiveDeployment) BuildCounters() BuildCounters {
+	return BuildCounters{
+		Preprocesses: ld.preBuilds.Value(),
+		PreCacheHits: ld.preCacheHits.Value(),
+		ShardsBuilt:  ld.shardsBuilt.Value(),
+		ShardsReused: ld.shardsReused.Value(),
+	}
 }
 
 // recordEpochUtility freezes a retiring epoch's final per-shard utilities
@@ -425,6 +597,9 @@ func (ld *LiveDeployment) Close() {
 		ld.recordEpochUtility(rt)
 		rt.Close()
 	}
+	// Drop the plan cache's references last: a unit kept warm only by the
+	// cache tears its transports down here.
+	ld.cache.clear()
 }
 
 // CollectStats replays the batches in original-ID space into fresh access

@@ -3,6 +3,9 @@ package serving
 import (
 	"context"
 	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/embedding"
@@ -51,6 +54,36 @@ func NewEmbeddingShard(t, s int, sortedTable *embedding.Table, lo, hi int64) (*E
 // Rows returns the shard's row count.
 func (s *EmbeddingShard) Rows() int64 { return s.RowHi - s.RowLo }
 
+// prewarmSink absorbs Prewarm's reads so the touch loop can never be
+// optimized away.
+var prewarmSink atomic.Uint32
+
+// Prewarm touches the shard's first rows (local sorted space, so row 0 is
+// the shard's hottest embedding) by streaming them through the cache —
+// the pre-publish warm-up step of the epoch lifecycle. It deliberately
+// bypasses the gather path: warming must not distort the shard's utility,
+// latency or QPS metrics. Returns the number of rows touched.
+func (s *EmbeddingShard) Prewarm(rows int64) int64 {
+	if rows > s.Rows() {
+		rows = s.Rows()
+	}
+	if rows <= 0 {
+		return 0
+	}
+	var sum float32
+	for r := int64(0); r < rows; r++ {
+		row, err := s.table.Vector(r)
+		if err != nil {
+			return r
+		}
+		for _, v := range row {
+			sum += v
+		}
+	}
+	prewarmSink.Store(math.Float32bits(sum))
+	return rows
+}
+
 // ParamBytes returns the shard's parameter footprint.
 func (s *EmbeddingShard) ParamBytes() int64 { return s.table.SizeBytes() }
 
@@ -69,8 +102,12 @@ func (s *EmbeddingShard) Gather(ctx context.Context, req *GatherRequest, reply *
 		return fmt.Errorf("serving: shard t%d s%d: %w", s.TableIndex, s.ShardIndex, err)
 	}
 	bs := b.BatchSize()
-	out := tensor.NewMatrix(bs, s.table.Dim)
-	if err := s.table.GatherPoolBatch(out, &b); err != nil {
+	// The pooled output draws from the shared buffer pool; the dense
+	// shard recycles it after merging (GatherPool zeroes each row before
+	// accumulating, so recycled contents never leak through).
+	out := tensor.Matrix{Rows: bs, Cols: s.table.Dim, Data: getPooledBuf(bs * s.table.Dim)}
+	if err := s.table.GatherPoolBatch(&out, &b); err != nil {
+		putPooledBuf(out.Data)
 		return fmt.Errorf("serving: shard t%d s%d: %w", s.TableIndex, s.ShardIndex, err)
 	}
 	s.Utility.TouchAll(req.Indices)
@@ -83,3 +120,32 @@ func (s *EmbeddingShard) Gather(ctx context.Context, req *GatherRequest, reply *
 }
 
 var _ GatherClient = (*EmbeddingShard)(nil)
+
+// pooledBufPool recycles gather-reply buffers between the shard services
+// and the dense merge loop. On the in-process transport the same backing
+// array cycles shard → dense → pool → shard; on TCP the server-side copy
+// is consumed by the codec, but the client-side decoded buffer still
+// returns here after the merge.
+var pooledBufPool sync.Pool
+
+// getPooledBuf returns a float32 buffer of length n, reusing pooled
+// backing storage when it is large enough. Contents are unspecified —
+// every writer must overwrite its slice before reading.
+func getPooledBuf(n int) []float32 {
+	if v := pooledBufPool.Get(); v != nil {
+		if buf := *(v.(*[]float32)); cap(buf) >= n {
+			return buf[:n]
+		}
+	}
+	return make([]float32, n)
+}
+
+// putPooledBuf recycles a buffer obtained from getPooledBuf (or any buffer
+// the caller is done with). Safe to call with nil.
+func putPooledBuf(buf []float32) {
+	if cap(buf) == 0 {
+		return
+	}
+	buf = buf[:cap(buf)]
+	pooledBufPool.Put(&buf)
+}

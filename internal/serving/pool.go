@@ -217,6 +217,12 @@ type LiveAutoscaler struct {
 	// OfferedQPS reports the current aggregate load directed at a shard
 	// name; typically wired to the frontend's QPS meter.
 	OfferedQPS func(name string) float64
+	// OfferedModelQPS, when set, attributes load per DLRM variant: a
+	// shard whose Model field is set scales on its own variant's offered
+	// QPS (typically a per-model frontend meter split on
+	// PredictRequest.Model) instead of the aggregate OfferedQPS — so one
+	// variant's traffic spike never scales another variant's pools.
+	OfferedModelQPS func(model string) float64
 
 	// Deployment, when set together with RepartitionPolicy and Replan,
 	// enables the skew-triggered live repartition loop for a single-model
@@ -276,12 +282,23 @@ func (a *LiveAutoscaler) step() {
 }
 
 // Evaluate runs one scaling decision for a shard and returns the replica
-// count after the decision.
+// count after the decision. A shard with a Model set prefers the per-model
+// offered-QPS meter, falling back to the aggregate one.
 func (a *LiveAutoscaler) Evaluate(s *AutoscaledShard) int {
-	if a.OfferedQPS == nil || s.Pool == nil || s.QPSMax <= 0 {
+	if s.Pool == nil {
+		return 0
+	}
+	var offered float64
+	switch {
+	case s.QPSMax <= 0:
+		return s.Pool.Size()
+	case a.OfferedModelQPS != nil && s.Model != "":
+		offered = a.OfferedModelQPS(s.Model)
+	case a.OfferedQPS != nil:
+		offered = a.OfferedQPS(s.Name)
+	default:
 		return s.Pool.Size()
 	}
-	offered := a.OfferedQPS(s.Name)
 	replicas := s.Pool.Size()
 	perReplica := offered / float64(replicas)
 	switch {
@@ -341,7 +358,15 @@ func (a *LiveAutoscaler) EvaluateModelRepartition(mr *ModelRepartition, now time
 	}
 	boundaries, err := mr.Replan(stats)
 	if err == nil {
-		err = mr.Deployment.Repartition(context.Background(), stats, boundaries)
+		// The profile snapshot rides into the build so the new epoch's
+		// fresh shards are pre-warmed from the fresh CDF before publish;
+		// the reuse report feeds the policy so a cheap (fully cached)
+		// swap can re-trigger on the shorter cached interval.
+		var rep SwapReport
+		rep, err = mr.Deployment.RepartitionReport(context.Background(), stats, boundaries)
+		if err == nil {
+			mr.Policy.NoteSwap(name, rep.Cheap())
+		}
 	}
 	// Reopen the window for the next cycle regardless of outcome — a
 	// transient replan failure must not consume the only window and wedge

@@ -74,6 +74,13 @@ type RoutingTable struct {
 	// not once per fused client request.
 	Served *metrics.Counter
 
+	// units[t][s] is the refcounted service bundle behind shard s of
+	// table t. Units may be shared with other epochs and with the plan
+	// cache; Close releases this epoch's references instead of tearing
+	// transports down directly. Nil for hand-assembled tables
+	// (NewRoutingTable), which still own servers/closers per epoch.
+	units [][]*shardUnit
+
 	servers  []*RPCServer
 	closers  []io.Closer
 	inflight atomic.Int64
@@ -166,9 +173,17 @@ func (rt *RoutingTable) Drain(ctx context.Context) error {
 	return nil
 }
 
-// Close tears down the epoch's transport resources (RPC client
-// connections, then servers). Call only after Drain.
+// Close releases the epoch's transport resources. Shard units are
+// refcounted: a unit shared with a newer epoch (or held warm by the plan
+// cache) survives; only units this epoch was the last holder of tear their
+// RPC connections and servers down. Call only after Drain.
 func (rt *RoutingTable) Close() {
+	for _, row := range rt.units {
+		for _, u := range row {
+			u.release()
+		}
+	}
+	rt.units = nil
 	for _, c := range rt.closers {
 		_ = c.Close()
 	}
@@ -177,6 +192,17 @@ func (rt *RoutingTable) Close() {
 		_ = s.Close()
 	}
 	rt.servers = nil
+}
+
+// ShardRefs returns the reference count of the unit behind shard s of
+// table t: one per routing-table epoch using it plus one while the plan
+// cache keeps it warm (0 when the table was hand-assembled without units).
+// Observability for the epoch-reuse tests.
+func (rt *RoutingTable) ShardRefs(t, s int) int64 {
+	if t >= len(rt.units) || s >= len(rt.units[t]) {
+		return 0
+	}
+	return rt.units[t][s].refs.Load()
 }
 
 // modelRoute is one registered model's slot in the router: its current
