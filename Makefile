@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short race race-repartition bench bench-smoke bench-json bench-guard fmt fmt-check vet lint-doc ci
+.PHONY: build test test-short race race-repartition lifecycle-smoke bench bench-smoke bench-json bench-guard fmt fmt-check vet lint-doc ci
 
 build:
 	$(GO) build ./...
@@ -22,10 +22,17 @@ race:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
 
-# The zero-downtime plan-swap acceptance test under the race detector:
-# 8 concurrent clients, 10 swaps, both transports.
+# The zero-downtime plan-swap and model-lifecycle acceptance tests under
+# the race detector: 8 concurrent clients, 10 swaps, deploy/undeploy under
+# fire, both transports.
 race-repartition:
-	$(GO) test -race -run 'Repartition|Straggler|Cancels' -count=1 ./internal/serving/
+	$(GO) test -race -run 'Repartition|Straggler|Cancels|Lifecycle|ReplanMemo' -count=1 ./internal/serving/
+
+# Control-plane smoke: the model-lifecycle closed loop (deploy/undeploy
+# over the versioned admin RPC) in short mode — CI runs this in the checks
+# job.
+lifecycle-smoke:
+	$(GO) run ./cmd/elasticrec -short lifecycle
 
 # One iteration of the micro-kernel and concurrent-serving benches — a CI
 # smoke test that the harness still runs, with output kept as an artifact.
@@ -72,4 +79,4 @@ vet:
 lint-doc:
 	$(GO) run ./cmd/doccheck ./internal ./cmd ./examples
 
-ci: fmt-check vet lint-doc build test-short race race-repartition bench-smoke
+ci: fmt-check vet lint-doc build test-short race race-repartition lifecycle-smoke bench-smoke

@@ -1,23 +1,41 @@
 // Command elasticrec regenerates every table and figure of the ElasticRec
-// paper (ISCA 2024) from this repository's implementation.
+// paper (ISCA 2024) from this repository's implementation, and doubles as
+// the fleet admin CLI for a running multi-model frontend.
 //
 // Usage:
 //
-//	elasticrec <experiment> [...]
+//	elasticrec [-short] <experiment> [...]
 //	elasticrec all
+//	elasticrec admin -addr HOST:PORT [-frontend NAME] status [model]
+//	elasticrec admin -addr HOST:PORT [-frontend NAME] undeploy <model>
+//	elasticrec admin -addr HOST:PORT [-frontend NAME] deploy -model NAME [options]
 //
 // Experiments: tables, fig3, fig5, fig6, fig9, fig12a, fig12b, fig12c,
 // fig12d, fig13, fig14, fig15, fig16, fig17, fig18, fig19, fig20,
-// schemes, stress, repartition, multimodel.
+// schemes, stress, repartition, multimodel, lifecycle.
+//
+// The admin subcommand drives the versioned control-plane endpoints
+// (Admin.Deploy / Admin.Undeploy / Admin.Status) exported on a frontend's
+// TCP listener: deploy builds and publishes a new variant into the running
+// frontend, undeploy drains one out (the name becomes reusable), status
+// snapshots every served variant.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/embedding"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/serving"
+	"repro/internal/workload"
 )
 
 type experiment struct {
@@ -25,6 +43,10 @@ type experiment struct {
 	desc string
 	run  func() (*core.Table, error)
 }
+
+// short is the global -short flag: experiments that support it trim their
+// closed loops for smoke runs (CI runs `elasticrec -short lifecycle`).
+var short = flag.Bool("short", false, "trim closed-loop experiments for smoke runs")
 
 func experiments() []experiment {
 	return []experiment{
@@ -49,11 +71,13 @@ func experiments() []experiment {
 		{"stress", "Sec. IV-D: live shard QPSmax stress test", core.StressTable},
 		{"repartition", "Sec. IV-B: closed profiling/repartition/serve loop", core.RepartitionTable},
 		{"multimodel", "Multi-model routing: one frontend, independently repartitioned variants", core.MultiModelTable},
+		{"lifecycle", "Model lifecycle: deploy/undeploy variants over the admin API", func() (*core.Table, error) { return core.LifecycleTable(*short) }},
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: elasticrec <experiment> [...] | all")
+	fmt.Fprintln(os.Stderr, "usage: elasticrec [-short] <experiment> [...] | all")
+	fmt.Fprintln(os.Stderr, "       elasticrec admin -addr HOST:PORT [-frontend NAME] status|deploy|undeploy ...")
 	fmt.Fprintln(os.Stderr, "experiments:")
 	exps := experiments()
 	names := make([]string, 0, len(exps))
@@ -64,15 +88,24 @@ func usage() {
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		fmt.Fprintf(os.Stderr, "  %-8s %s\n", n, byName[n].desc)
+		fmt.Fprintf(os.Stderr, "  %-10s %s\n", n, byName[n].desc)
 	}
 }
 
 func main() {
-	args := os.Args[1:]
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 		os.Exit(2)
+	}
+	if strings.EqualFold(args[0], "admin") {
+		if err := runAdmin(args[1:]); err != nil {
+			fmt.Fprintf(os.Stderr, "admin: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	exps := experiments()
 	byName := map[string]experiment{}
@@ -101,4 +134,144 @@ func main() {
 		}
 		fmt.Println(t.String())
 	}
+}
+
+// runAdmin drives the control plane of a running frontend over its
+// versioned admin RPC endpoints.
+func runAdmin(args []string) error {
+	fs := flag.NewFlagSet("admin", flag.ExitOnError)
+	addr := fs.String("addr", "", "frontend address (HOST:PORT), required")
+	frontend := fs.String("frontend", "Frontend", "frontend service name the deployment was exported under")
+	timeout := fs.Duration("timeout", time.Minute, "per-operation deadline")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: elasticrec admin -addr HOST:PORT [-frontend NAME] <verb> ...")
+		fmt.Fprintln(os.Stderr, "verbs:")
+		fmt.Fprintln(os.Stderr, "  status [model]          per-variant control-plane snapshot")
+		fmt.Fprintln(os.Stderr, "  undeploy <model>        drain the variant out of the frontend")
+		fmt.Fprintln(os.Stderr, "  deploy -model NAME [-rows N -tables N -seed N -window N -transport local|tcp]")
+		fmt.Fprintln(os.Stderr, "                          build and publish a new variant (spec-based)")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" || fs.NArg() == 0 {
+		fs.Usage()
+		return fmt.Errorf("need -addr and a verb")
+	}
+	client, err := serving.DialAdmin(*addr, *frontend)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	switch verb := fs.Arg(0); verb {
+	case "status":
+		mdl := fs.Arg(1)
+		sts, err := client.Status(ctx, mdl)
+		if err != nil {
+			return err
+		}
+		printStatus(sts)
+		return nil
+	case "undeploy":
+		if fs.NArg() < 2 {
+			return fmt.Errorf("undeploy needs a model name")
+		}
+		reply, err := client.Undeploy(ctx, fs.Arg(1))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("undeployed %q: drained, unregistered, name reusable\n", reply.Model)
+		return nil
+	case "deploy":
+		return runAdminDeploy(ctx, client, fs.Args()[1:])
+	default:
+		fs.Usage()
+		return fmt.Errorf("unknown admin verb %q", verb)
+	}
+}
+
+// runAdminDeploy assembles a deploy spec from flags: the variant's model
+// is instantiated frontend-side from (config, seed), and the profiling
+// window is synthesized here from the configured power-law locality —
+// the client ships counts, never weights.
+func runAdminDeploy(ctx context.Context, client *serving.AdminClient, args []string) error {
+	fs := flag.NewFlagSet("admin deploy", flag.ExitOnError)
+	name := fs.String("model", "", "variant name to serve under (required)")
+	rows := fs.Int64("rows", 12_000, "embedding rows per table")
+	tables := fs.Int("tables", 2, "number of embedding tables")
+	seed := fs.Uint64("seed", 1, "parameter seed (frontend runs model.New(config, seed))")
+	window := fs.Int("window", 120, "profiling-window queries synthesized per table")
+	transport := fs.String("transport", "local", "shard transport: local or tcp")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("deploy needs -model")
+	}
+	cfg := model.RM1().WithRows(*rows).WithName(*name)
+	cfg.NumTables = *tables
+
+	sampler, err := workload.NewPowerLawSampler(cfg.RowsPerTable, cfg.LocalityP, 0.9)
+	if err != nil {
+		return err
+	}
+	gen, err := workload.NewQueryGenerator(sampler, workload.NewShuffledMapping(cfg.RowsPerTable, 3),
+		cfg.BatchSize, cfg.Pooling, *seed)
+	if err != nil {
+		return err
+	}
+	perTable := make([][]*embedding.Batch, cfg.NumTables)
+	for t := range perTable {
+		for q := 0; q < *window; q++ {
+			perTable[t] = append(perTable[t], gen.Next())
+		}
+	}
+	stats, err := serving.CollectStats(cfg, perTable)
+	if err != nil {
+		return err
+	}
+	counts := make([][]int64, len(stats))
+	for t, st := range stats {
+		counts[t] = st.Counts
+	}
+	// Proportional CDF cuts (70% / 95% coverage) stand in for the DP at
+	// CLI scale, mirroring the liveserving replanner.
+	boundaries := embedding.NewCDF(stats[0]).ProportionalCuts(0.70, 0.95)
+
+	var reply serving.AdminDeployReply
+	if err := client.Deploy(ctx, &serving.AdminDeployRequest{
+		Name: *name, Config: cfg, Seed: *seed,
+		Counts: counts, Boundaries: boundaries,
+		Options: serving.BuildOptions{Transport: serving.Transport(*transport)},
+	}, &reply); err != nil {
+		return err
+	}
+	fmt.Printf("deployed %q: epoch %d, %d shards, boundaries %v\n",
+		reply.Model, reply.Epoch, reply.Shards, boundaries)
+	return nil
+}
+
+// printStatus renders per-model snapshots as an aligned table.
+func printStatus(sts []serving.ModelStatus) {
+	tab := &core.Table{
+		Title:  "frontend model status",
+		Header: []string{"model", "epoch", "swaps", "shards", "served", "offered qps", "utility skew", "cached tables"},
+	}
+	for _, st := range sts {
+		tab.Rows = append(tab.Rows, []string{
+			st.Model,
+			fmt.Sprintf("%d", st.Epoch),
+			fmt.Sprintf("%d", st.Swaps),
+			fmt.Sprintf("%d", st.Shards),
+			fmt.Sprintf("%d", st.Served),
+			fmt.Sprintf("%.1f", st.OfferedQPS),
+			fmt.Sprintf("%.2f", st.UtilitySkew),
+			metrics.FormatBytes(st.Counters.CachedSortedBytes),
+		})
+	}
+	fmt.Println(tab.String())
 }

@@ -11,7 +11,7 @@ func TestExperimentRegistryComplete(t *testing.T) {
 		"tables", "fig3", "fig5", "fig6", "fig9",
 		"fig12a", "fig12b", "fig12c", "fig12d",
 		"fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
-		"schemes", "stress", "repartition", "multimodel",
+		"schemes", "stress", "repartition", "multimodel", "lifecycle",
 	}
 	byName := map[string]experiment{}
 	for _, e := range exps {

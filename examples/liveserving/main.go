@@ -1,21 +1,26 @@
-// Liveserving: real microservices on loopback TCP serving TWO DLRM
-// variants behind one frontend, with a live autoscaler and autonomous
-// zero-downtime repartitioning per variant.
+// Liveserving: real microservices on loopback TCP serving a CHANGING set
+// of DLRM variants behind one frontend, with a live autoscaler, autonomous
+// zero-downtime repartitioning per variant, and runtime model lifecycle
+// driven over the admin API.
 //
-// Every embedding shard of both variants runs behind its own net/rpc
+// Every embedding shard of every variant runs behind its own net/rpc
 // server (the stand-in for the paper's gRPC mesh); a round-robin replica
-// pool plays Linkerd; an HPA-style control loop watches the offered load
-// and scales shard replicas in and out while a Poisson client drives
-// stepped traffic addressed to both variants through a single exported
-// predict endpoint (requests carry their model name on the wire).
+// pool plays Linkerd; an HPA-style control loop watches each variant's own
+// offered load and scales shard replicas in and out while a Poisson client
+// drives stepped traffic through a single exported predict endpoint
+// (requests carry their model name on the wire).
 //
-// The variants' hot sets drift at different times: variant "hot" drifts a
-// third of the way in, variant "slow" drifts at two thirds. The control
-// loop watches each variant's per-shard utility profile (Fig. 14)
-// independently, re-plans the stale one from its own live profiling
-// window and swaps only that variant's partition epoch while requests for
-// both keep flowing — the closed profiling -> repartition -> serve loop of
-// Sec. IV-B, run per model on independent cadences.
+// The run starts with two variants ("hot", "slow") and the served set
+// changes under fire: variant "burst" is DEPLOYED into the running
+// frontend halfway through (build → warm → publish over the versioned
+// admin RPC riding the same TCP listener — no restart), and variant "hot"
+// is UNDEPLOYED at three quarters (drained, unregistered, its shard
+// services fully released) while the others keep serving. The controller
+// keeps the autoscaler in step: a deployed variant gets its repartition
+// loop and scaling entries automatically, an undeployed one has them torn
+// down. Hot sets still drift mid-run, so the closed profiling ->
+// repartition -> serve loop of Sec. IV-B runs per model on independent
+// cadences throughout.
 //
 // Run with: go run ./examples/liveserving [-duration 12s]
 package main
@@ -30,7 +35,6 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/embedding"
-	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/serving"
 	"repro/internal/workload"
@@ -94,21 +98,14 @@ func (v *variant) request() *serving.PredictRequest {
 	return req
 }
 
-// proportionalReplan cuts the freshly profiled CDF at 70% and 95% access
-// coverage, mirroring what the DP chooses for these geometries without
-// re-fitting the cost model inline.
-func proportionalReplan(rows int64) func([]*embedding.AccessStats) ([]int64, error) {
-	return func(window []*embedding.AccessStats) ([]int64, error) {
-		cdf := embedding.NewCDF(window[0])
-		cuts := []int64{}
-		for _, p := range []float64{0.70, 0.95} {
-			var j int64
-			for j = 1; j < cdf.Rows() && cdf.At(j) < p; j++ {
-			}
-			cuts = append(cuts, j)
-		}
-		return append(cuts, rows), nil
-	}
+// proportionalReplan cuts a freshly profiled window's CDF at 70% and 95%
+// access coverage (embedding.ProportionalCuts), mirroring what the DP
+// chooses for these geometries without re-fitting the cost model inline.
+// It reads the row count off the window itself, so it works for any
+// model — including variants deployed by an external admin this example
+// has no client-side state for.
+func proportionalReplan(window []*embedding.AccessStats) ([]int64, error) {
+	return embedding.NewCDF(window[0]).ProportionalCuts(0.70, 0.95), nil
 }
 
 func main() {
@@ -120,10 +117,13 @@ func main() {
 	cfgSlow := model.RM1().WithRows(12_000).WithName("rm1-slow")
 	cfgSlow.NumTables = 2
 	cfgSlow.BatchSize = 2
+	cfgBurst := model.RM1().WithRows(14_000).WithName("rm1-burst")
+	cfgBurst.NumTables = 2
 
 	hot := newVariant("hot", cfgHot, 5, *duration/4)
 	slow := newVariant("slow", cfgSlow, 1005, 2**duration/3)
-	variants := []*variant{hot, slow}
+	burst := newVariant("burst", cfgBurst, 2005, 0)
+	byName := map[string]*variant{hot.name: hot, slow.name: slow, burst.name: burst}
 
 	mHot, err := model.New(cfgHot, 77)
 	if err != nil {
@@ -134,8 +134,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Both variants behind ONE router and ONE frontend, each shard a TCP
-	// microservice, each variant with its own dynamic batcher.
+	// The initial set: both variants behind ONE router and ONE frontend,
+	// each shard a TCP microservice, each variant with its own dynamic
+	// batcher. "burst" arrives later, over the admin API.
 	md, err := serving.BuildMulti(
 		serving.ModelSpec{
 			Name: hot.name, Model: mHot, Stats: hot.window(100),
@@ -158,14 +159,15 @@ func main() {
 		log.Fatal(err)
 	}
 	defer md.Close()
-	for _, v := range variants {
-		ld, _ := md.Deployment(v.name)
+	for _, name := range md.Models() {
+		ld, _ := md.Deployment(name)
 		fmt.Printf("model %q: %d embedding shards x %d tables over TCP microservices\n",
-			v.name, ld.Table().NumShards(0), v.cfg.NumTables)
+			name, ld.Table().NumShards(0), byName[name].cfg.NumTables)
 	}
 
 	// Export the multi-model dispatching frontend over net/rpc and drive
 	// all traffic through the wire; the Model field routes each request.
+	// The same listener carries the versioned admin control plane.
 	addr, err := md.ExportPredict("Frontend")
 	if err != nil {
 		log.Fatal(err)
@@ -175,62 +177,26 @@ func main() {
 		log.Fatal(err)
 	}
 	defer frontend.Close()
-	fmt.Printf("multi-model predict frontend (dynamic batching per model) exported at %s\n", addr)
+	admin, err := serving.DialAdmin(addr, "Frontend")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer admin.Close()
+	fmt.Printf("multi-model predict frontend + admin control plane exported at %s\n", addr)
 
 	// Live autoscaler: every shard of every variant's current epoch scales
-	// on its OWN variant's offered QPS — the per-model attribution split.
-	// One meter per variant is marked as requests are issued, keyed by the
-	// request's Model field, so a traffic spike on "hot" never scales
-	// "slow"'s pools (and vice versa). buildScaled is re-run after every
-	// epoch swap so the control loop always scales the epochs that are
-	// actually serving.
-	offered := map[string]*metrics.QPSMeter{}
-	for _, v := range variants {
-		offered[v.name] = metrics.NewQPSMeter(2 * time.Second)
-	}
-	buildScaled := func() []*serving.AutoscaledShard {
-		scaled := []*serving.AutoscaledShard{}
-		for _, v := range variants {
-			ld, _ := md.Deployment(v.name)
-			rt := ld.Table()
-			for t := 0; t < v.cfg.NumTables; t++ {
-				for s := 0; s < rt.NumShards(t); s++ {
-					t, s := t, s
-					lo := int64(0)
-					if s > 0 {
-						lo = rt.Boundaries[t][s-1]
-					}
-					hi := rt.Boundaries[t][s]
-					sorted := rt.Pre.Sorted[t]
-					scaled = append(scaled, &serving.AutoscaledShard{
-						Name:   fmt.Sprintf("%s-e%d-t%d-s%d", v.name, rt.Epoch, t, s),
-						Model:  v.name,
-						Pool:   rt.Pools[t][s],
-						QPSMax: 20 * float64(s+1), // hotter shards saturate sooner
-						Spawn: func() (serving.GatherClient, error) {
-							return serving.NewEmbeddingShard(t, s, sorted, lo, hi)
-						},
-						MaxReplicas: 6,
-					})
-				}
-			}
-		}
-		return scaled
-	}
+	// on its OWN variant's offered QPS — the per-model meters live in the
+	// frontend now (created at deploy, dropped at undeploy, so a retired
+	// model's metrics never linger).
 	as := &serving.LiveAutoscaler{
-		Shards:   buildScaled(),
-		Interval: 500 * time.Millisecond,
-		OfferedModelQPS: func(model string) float64 {
-			if m, ok := offered[model]; ok {
-				return m.Rate()
-			}
-			return 0
-		},
+		Interval:        500 * time.Millisecond,
+		OfferedModelQPS: md.OfferedQPS,
 	}
 	// One repartition loop per variant, sharing one policy: firing state
-	// is per model, so the variants profile and swap on independent
-	// cadences — "hot" repartitioning mid-run never consumes "slow"'s
-	// interval, and vice versa.
+	// is per model, so variants profile and swap on independent cadences.
+	// The controller binding keeps loops and scaling entries in step with
+	// the served set: Deploy wires a variant in, Undeploy tears it down
+	// and forgets its policy state.
 	policy := &cluster.RepartitionPolicy{
 		MinSkew: 0.35,
 		// Dense dispatches, not client requests: the batcher fuses ~3
@@ -239,36 +205,60 @@ func main() {
 		MinRequests: 25,
 		MinInterval: *duration, // at most one swap per variant per run
 	}
-	for _, v := range variants {
-		v := v
-		ld, _ := md.Deployment(v.name)
-		as.Repartitions = append(as.Repartitions, &serving.ModelRepartition{
-			Model:      v.name,
-			Deployment: ld,
-			Policy:     policy,
-			Replan:     proportionalReplan(v.cfg.RowsPerTable),
-			// After a swap, point the replica-scaling loop at the new
-			// epoch's pools (the autoscaler reopens the profiling window
-			// itself). The callback runs on the control-loop goroutine,
-			// which is the only reader of as.Shards.
-			OnRepartition: func(name string, retired int64, err error) {
-				if err != nil {
-					log.Printf("repartition %s: %v", name, err)
-					return
+	// The epoch's own geometry drives the scaling entries (not the
+	// client-side variant map: a model can be deployed by an external
+	// admin this example has no generator for).
+	scaledFor := func(name string, ld *serving.LiveDeployment) []*serving.AutoscaledShard {
+		rt := ld.Table()
+		if rt == nil {
+			return nil
+		}
+		scaled := []*serving.AutoscaledShard{}
+		for t := 0; t < len(rt.Boundaries); t++ {
+			for s := 0; s < rt.NumShards(t); s++ {
+				t, s := t, s
+				lo := int64(0)
+				if s > 0 {
+					lo = rt.Boundaries[t][s-1]
 				}
-				as.Shards = buildScaled()
-				fmt.Printf("-> repartitioned %q live: retired epoch %d, serving epoch %d with boundaries %v (other variants untouched)\n",
-					name, retired, md.Epoch(name), ld.Boundaries())
-			},
-		})
-		ld.StartProfile()
+				hi := rt.Boundaries[t][s]
+				sorted := rt.Pre.Sorted[t]
+				scaled = append(scaled, &serving.AutoscaledShard{
+					Name:   fmt.Sprintf("%s-e%d-t%d-s%d", name, rt.Epoch, t, s),
+					Model:  name,
+					Pool:   rt.Pools[t][s],
+					QPSMax: 20 * float64(s+1), // hotter shards saturate sooner
+					Spawn: func() (serving.GatherClient, error) {
+						return serving.NewEmbeddingShard(t, s, sorted, lo, hi)
+					},
+					MaxReplicas: 6,
+				})
+			}
+		}
+		return scaled
 	}
+	md.Controller().Bind(&serving.AutoscalerBinding{
+		Autoscaler: as,
+		Policy:     policy,
+		Replan: func(_ string, stats []*embedding.AccessStats) ([]int64, error) {
+			return proportionalReplan(stats)
+		},
+		Shards: scaledFor,
+		OnRepartition: func(name string, retired int64, err error) {
+			if err != nil {
+				log.Printf("repartition %s: %v", name, err)
+				return
+			}
+			fmt.Printf("-> repartitioned %q live: retired epoch %d, serving epoch %d (other variants untouched)\n",
+				name, retired, md.Epoch(name))
+		},
+	})
 	as.Start()
 	defer as.Stop()
 
 	// Drive stepped Poisson traffic: low -> high -> low; each variant's
-	// hot set drifts at its own time, and every third query addresses the
-	// "slow" variant.
+	// hot set drifts at its own time, and the lifecycle events land
+	// mid-run: deploy "burst" at half time, undeploy "hot" at 3/4.
 	pattern, err := workload.NewTrafficPattern([]workload.TrafficPhase{
 		{Start: 0, TargetQPS: 10},
 		{Start: *duration / 3, TargetQPS: 60},
@@ -278,6 +268,8 @@ func main() {
 		log.Fatal(err)
 	}
 	arrivals := workload.NewPoissonArrivals(pattern, 9)
+	deployAt, undeployAt := *duration/2, 3**duration/4
+	rotation := []*variant{hot, hot, slow} // 2/3 hot, 1/3 slow to start
 	start := time.Now()
 	var wg sync.WaitGroup
 	total := 0
@@ -287,20 +279,58 @@ func main() {
 			break
 		}
 		time.Sleep(time.Until(start.Add(at)))
-		for _, v := range variants {
+		for _, v := range byName {
 			if v.driftAt > 0 && at > v.driftAt {
 				v.drift.SetShift(v.cfg.RowsPerTable / 2)
 				v.driftAt = 0
 				fmt.Printf("-> hotness drift injected into %q at %v\n", v.name, at.Round(time.Millisecond))
 			}
 		}
-		v := variants[0]
-		if total%3 == 2 {
-			v = variants[1]
+		if deployAt > 0 && at > deployAt {
+			deployAt = 0
+			// Deploy "burst" into the running frontend over the wire: the
+			// spec (config + seed + profiling counts + plan) rides the
+			// admin RPC; the frontend builds, pre-warms and publishes
+			// while traffic keeps flowing, and the binding starts its
+			// repartition loop and scaling entries automatically.
+			window := burst.window(100)
+			counts := make([][]int64, len(window))
+			for t, st := range window {
+				counts[t] = st.Counts
+			}
+			boundaries, _ := proportionalReplan(window)
+			var reply serving.AdminDeployReply
+			err := admin.Deploy(context.Background(), &serving.AdminDeployRequest{
+				Name: burst.name, Config: cfgBurst, Seed: 2077,
+				Counts: counts, Boundaries: boundaries,
+				Options: serving.BuildOptions{
+					Transport: serving.TransportTCP,
+					Batching:  &serving.BatcherOptions{MaxBatch: 3 * cfgBurst.BatchSize, MaxDelay: 500 * time.Microsecond},
+				},
+			}, &reply)
+			if err != nil {
+				log.Fatalf("admin deploy: %v", err)
+			}
+			rotation = []*variant{hot, burst, slow} // burst joins the mix
+			fmt.Printf("-> deployed %q live at %v: epoch %d, %d shards (no restart, others untouched)\n",
+				reply.Model, at.Round(time.Millisecond), reply.Epoch, reply.Shards)
 		}
+		if undeployAt > 0 && at > undeployAt {
+			undeployAt = 0
+			// Take "hot" out of the client rotation first, then drain it
+			// out of the frontend: its repartition loop stops, its final
+			// epoch drains, its shard services tear down, and the name
+			// becomes reusable — "slow" and "burst" never notice.
+			rotation = []*variant{burst, burst, slow}
+			if _, err := admin.Undeploy(context.Background(), hot.name); err != nil {
+				log.Fatalf("admin undeploy: %v", err)
+			}
+			fmt.Printf("-> undeployed %q live at %v: drained, unregistered, shard services released\n",
+				hot.name, at.Round(time.Millisecond))
+		}
+		v := rotation[total%len(rotation)]
 		total++
 		v.served++
-		offered[v.name].Mark()
 		wg.Add(1)
 		// Build the request on the arrival loop (the generators are not
 		// concurrency-safe), then issue it from its own client goroutine.
@@ -320,26 +350,35 @@ func main() {
 	// (Stop is idempotent; the deferred call becomes a no-op).
 	as.Stop()
 
-	fmt.Printf("served %d queries over %v (%d epoch swaps across %d models)\n",
-		total, time.Since(start).Round(time.Millisecond), md.Router.Swaps.Value(), len(variants))
-	for _, v := range variants {
-		ld, _ := md.Deployment(v.name)
+	fmt.Printf("served %d queries over %v (%d epoch swaps; final served set %v)\n",
+		total, time.Since(start).Round(time.Millisecond), md.Router.Swaps.Value(), md.Models())
+	for _, st := range md.Controller().Status() {
+		served := 0
+		if v := byName[st.Model]; v != nil {
+			served = v.served
+		}
+		ld, _ := md.Deployment(st.Model)
 		rt := ld.Table()
-		fmt.Printf("model %q: %d queries (%.1f offered qps at close), epoch %d (%d swaps), dense P50=%v P95=%v\n",
-			v.name, v.served, offered[v.name].Rate(), rt.Epoch, md.Router.SwapsFor(v.name),
+		fmt.Printf("model %q: %d queries (%.1f offered qps at close), epoch %d (%d swaps), dense P50=%v P95=%v, cached tables %d bytes\n",
+			st.Model, served, st.OfferedQPS, st.Epoch, st.Swaps,
 			ld.Dense.Latency.Quantile(0.50).Round(time.Microsecond),
-			ld.Dense.Latency.Quantile(0.95).Round(time.Microsecond))
-		fmt.Printf("model %q batcher: %d requests fused into %d batches (mean batch %.1f inputs)\n",
-			v.name, ld.Batcher.Requests.Value(), ld.Batcher.Batches.Value(), ld.Batcher.BatchSizes.Mean())
+			ld.Dense.Latency.Quantile(0.95).Round(time.Microsecond),
+			st.Counters.CachedSortedBytes)
+		if ld.Batcher != nil {
+			fmt.Printf("model %q batcher: %d requests fused into %d batches (mean batch %.1f inputs)\n",
+				st.Model, ld.Batcher.Requests.Value(), ld.Batcher.Batches.Value(), ld.Batcher.BatchSizes.Mean())
+		}
 		for s := 0; s < rt.NumShards(0); s++ {
 			fmt.Printf("model %q epoch %d table0 shard %d: replicas=%d utility=%.1f%% P95=%v\n",
-				v.name, rt.Epoch, s+1, rt.Pools[0][s].Size(), 100*rt.Utility(0, s),
+				st.Model, rt.Epoch, s+1, rt.Pools[0][s].Size(), 100*rt.Utility(0, s),
 				rt.Shards[0][s].Latency.Quantile(0.95).Round(time.Microsecond))
 		}
 		for _, label := range ld.EpochUtility.Labels() {
 			if val, ok := ld.EpochUtility.Value(label); ok {
-				fmt.Printf("model %q retired gauge %s = %.1f%%\n", v.name, label, 100*val)
+				fmt.Printf("model %q retired gauge %s = %.1f%%\n", st.Model, label, 100*val)
 			}
 		}
 	}
+	fmt.Printf("undeployed %q offered-qps meter after retirement: %.1f (metrics do not outlive the model)\n",
+		hot.name, md.OfferedQPS(hot.name))
 }

@@ -539,3 +539,32 @@ func TestRepartitionPolicyTrigger(t *testing.T) {
 		t.Fatal("did not re-fire after MinInterval")
 	}
 }
+
+func TestRepartitionPolicyForget(t *testing.T) {
+	p := &RepartitionPolicy{MinSkew: 0.5, MinRequests: 0, MinInterval: time.Hour,
+		MinIntervalCached: time.Minute}
+	now := time.Unix(1000, 0)
+	if !p.ShouldRepartitionModel("a", 0.1, 10, now) {
+		t.Fatal("model a should fire")
+	}
+	p.NoteSwap("a", true)
+	if p.ShouldRepartitionModel("a", 0.1, 10, now.Add(time.Second)) {
+		t.Fatal("model a re-fired inside its cached interval")
+	}
+	// Undeploying the model forgets its firing time AND its cheap-swap
+	// flag: a redeployed "a" fires immediately and is throttled on the
+	// full interval again (its first swap hasn't happened yet).
+	p.Forget("a")
+	if !p.ShouldRepartitionModel("a", 0.1, 10, now.Add(2*time.Second)) {
+		t.Fatal("forgotten model inherited the retired firing time")
+	}
+	if p.ShouldRepartitionModel("a", 0.1, 10, now.Add(2*time.Minute)) {
+		t.Fatal("forgotten model kept the retired cheap-swap flag (cached interval applied)")
+	}
+	// Forgetting an unknown model is a no-op.
+	p.Forget("ghost")
+	// Other models' state is untouched.
+	if !p.ShouldRepartitionModel("b", 0.1, 10, now) {
+		t.Fatal("model b throttled by forgetting a")
+	}
+}

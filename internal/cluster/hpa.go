@@ -132,6 +132,20 @@ func (p *RepartitionPolicy) Validate() error {
 	return nil
 }
 
+// Forget drops every piece of per-model state the policy holds for the
+// named model — its last firing time and its cheap-swap flag. The serving
+// control plane calls this when a model is undeployed: per-variant control
+// loops start and stop as models come and go, and a name redeployed later
+// must start from a clean slate instead of inheriting the retired model's
+// firing history (which would wrongly throttle — or wrongly accelerate —
+// the new model's first repartition).
+func (p *RepartitionPolicy) Forget(model string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.lastFire, model)
+	delete(p.lastCheap, model)
+}
+
 // NoteSwap records the outcome of a model's executed swap: cheap means the
 // serving layer reported a full plan-cache hit (no preprocessing, no shard
 // builds), making the model eligible for the shorter MinIntervalCached on

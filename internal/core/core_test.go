@@ -317,3 +317,29 @@ func TestRepartitionTable(t *testing.T) {
 		t.Fatalf("reverted phase epoch = %s, want 2", tab.Rows[3][1])
 	}
 }
+
+func TestLifecycleTable(t *testing.T) {
+	tab, err := LifecycleTable(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// baseline (2) + C deployed (3) + A undeployed (2) + A redeployed (3).
+	if len(tab.Rows) != 10 {
+		t.Fatalf("rows = %d, want 10", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[5] != "0" {
+			t.Fatalf("phase %s model %s dropped %s requests during lifecycle ops", row[0], row[1], row[5])
+		}
+	}
+	// The undeployed phase must not list rm1a; the redeploy phase must.
+	for _, row := range tab.Rows {
+		if row[0] == "A undeployed" && row[1] == "rm1a" {
+			t.Fatal("undeployed variant still reported")
+		}
+	}
+	last := tab.Rows[len(tab.Rows)-3]
+	if last[0] != "A redeployed" || last[1] != "rm1a" || last[2] != "0" {
+		t.Fatalf("redeployed row = %v, want rm1a back at epoch 0", last)
+	}
+}

@@ -163,6 +163,23 @@ func (c *CDF) At(j int64) float64 {
 	return c.cum[j-1]
 }
 
+// ProportionalCuts returns shard boundaries cutting the hotness-sorted
+// table at the given ascending coverage fractions (one boundary per
+// fraction, ending with the full row count) — the cheap stand-in for the
+// DP planner the live examples and the admin CLI use: cutting at e.g.
+// 70% and 95% coverage mirrors what the DP chooses for their geometries
+// without re-fitting the cost model inline.
+func (c *CDF) ProportionalCuts(fracs ...float64) []int64 {
+	cuts := make([]int64, 0, len(fracs)+1)
+	for _, p := range fracs {
+		var j int64
+		for j = 1; j < c.Rows() && c.At(j) < p; j++ {
+		}
+		cuts = append(cuts, j)
+	}
+	return append(cuts, c.Rows())
+}
+
 // RangeProbability returns the fraction of accesses falling in sorted rows
 // [k, j), i.e. CDF(j) - CDF(k) from Algorithm 1 line 11.
 func (c *CDF) RangeProbability(k, j int64) float64 {

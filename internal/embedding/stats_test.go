@@ -124,6 +124,35 @@ func TestCDFUniformWhenEmpty(t *testing.T) {
 	}
 }
 
+func TestCDFProportionalCuts(t *testing.T) {
+	// 10 rows, counts 10,9,...,1 (already hotness-sorted): total 55.
+	s := NewAccessStats(10)
+	for i := int64(0); i < 10; i++ {
+		for n := int64(0); n < 10-i; n++ {
+			if err := s.Record(i); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	c := NewCDF(s)
+	cuts := c.ProportionalCuts(0.5, 0.9)
+	if len(cuts) != 3 || cuts[len(cuts)-1] != 10 {
+		t.Fatalf("cuts = %v, want 2 fraction cuts + full row count", cuts)
+	}
+	for i, cut := range cuts[:len(cuts)-1] {
+		frac := []float64{0.5, 0.9}[i]
+		if c.At(cut) < frac {
+			t.Fatalf("cut %d at row %d covers %v < %v", i, cut, c.At(cut), frac)
+		}
+		if cut > 1 && c.At(cut-1) >= frac {
+			t.Fatalf("cut %d at row %d is not minimal", i, cut)
+		}
+	}
+	if got := c.ProportionalCuts(); len(got) != 1 || got[0] != 10 {
+		t.Fatalf("no-fraction cuts = %v, want just the row count", got)
+	}
+}
+
 func TestNewCDFFromCounts(t *testing.T) {
 	c := NewCDFFromCounts([]int64{4, 3, 2, 1})
 	if math.Abs(c.At(1)-0.4) > 1e-9 {

@@ -96,11 +96,13 @@ type LiveDeployment struct {
 
 	// cache is the per-model plan cache (epoch-reuse layer); the build
 	// counters tally construction work for the reuse tests and reports.
-	cache        *planCache
-	preBuilds    metrics.Counter
-	preCacheHits metrics.Counter
-	shardsBuilt  metrics.Counter
-	shardsReused metrics.Counter
+	cache          *planCache
+	preBuilds      metrics.Counter
+	preCacheHits   metrics.Counter
+	shardsBuilt    metrics.Counter
+	shardsReused   metrics.Counter
+	replans        metrics.Counter
+	replanMemoHits metrics.Counter
 
 	servers []*RPCServer // frontend (ExportPredict) servers
 
@@ -393,6 +395,9 @@ func (ld *LiveDeployment) RepartitionReport(ctx context.Context, stats []*embedd
 	defer ld.repartitionMu.Unlock()
 
 	old := ld.Router.LoadModel(ld.model)
+	if old == nil {
+		return SwapReport{}, fmt.Errorf("serving: repartition of model %q: not registered (undeployed?)", ld.model)
+	}
 	next, rep, fresh, err := ld.buildTable(old.Epoch+1, stats, newBoundaries)
 	if err != nil {
 		return rep, fmt.Errorf("serving: repartition: %w", err)
@@ -438,15 +443,49 @@ func (ld *LiveDeployment) resetReusedUtility(next *RoutingTable, fresh []*shardU
 	}
 }
 
+// ReplanMemo resolves a profiling window to shard boundaries through the
+// plan cache's fingerprint-keyed replan memo: a window already replanned
+// recently returns its memoized DP boundaries without invoking replan at
+// all; a miss runs replan and memoizes the outcome under the same
+// epoch-age eviction as the Preprocess memo. The repartition trigger loop
+// routes through this, so repeated triggers on a recurring distribution
+// skip the DP replan as well as the rebuild.
+func (ld *LiveDeployment) ReplanMemo(stats []*embedding.AccessStats, replan func([]*embedding.AccessStats) ([]int64, error)) ([]int64, error) {
+	fp := fingerprintStats(stats)
+	epoch := int64(0)
+	if rt := ld.Table(); rt != nil {
+		epoch = rt.Epoch
+	}
+	if b := ld.cache.lookupPlan(fp, epoch); b != nil {
+		ld.replanMemoHits.Inc(1)
+		return b, nil
+	}
+	boundaries, err := replan(stats)
+	if err != nil {
+		return nil, err
+	}
+	ld.replans.Inc(1)
+	ld.cache.putPlan(fp, boundaries, epoch)
+	return boundaries, nil
+}
+
 // BuildCounters returns the deployment-lifetime plan-construction tally
 // (the epoch-reuse spy: cache-hit repartitions must not move Preprocesses
-// or ShardsBuilt).
+// or ShardsBuilt) plus the plan cache's current occupancy, including the
+// bytes of cached sorted tables the Preprocess memos pin.
 func (ld *LiveDeployment) BuildCounters() BuildCounters {
+	pres, units, plans, bytes := ld.cache.occupancy()
 	return BuildCounters{
-		Preprocesses: ld.preBuilds.Value(),
-		PreCacheHits: ld.preCacheHits.Value(),
-		ShardsBuilt:  ld.shardsBuilt.Value(),
-		ShardsReused: ld.shardsReused.Value(),
+		Preprocesses:      ld.preBuilds.Value(),
+		PreCacheHits:      ld.preCacheHits.Value(),
+		ShardsBuilt:       ld.shardsBuilt.Value(),
+		ShardsReused:      ld.shardsReused.Value(),
+		Replans:           ld.replans.Value(),
+		ReplanMemoHits:    ld.replanMemoHits.Value(),
+		CachedPres:        pres,
+		CachedUnits:       units,
+		CachedPlans:       plans,
+		CachedSortedBytes: bytes,
 	}
 }
 
@@ -488,6 +527,15 @@ func (ld *LiveDeployment) StartProfile() {
 		w.stats[t] = embedding.NewAccessStats(ld.cfg.RowsPerTable)
 	}
 	ld.profile.Store(w)
+}
+
+// StartProfileIfIdle opens a live profiling window only when none is
+// open — re-wiring a control-plane binding over a serving variant must
+// not discard the profile it has already accumulated.
+func (ld *LiveDeployment) StartProfileIfIdle() {
+	if ld.profile.Load() == nil {
+		ld.StartProfile()
+	}
 }
 
 // SnapshotProfile closes the current profiling window and returns its
@@ -532,8 +580,14 @@ func (ld *LiveDeployment) Model() string { return ld.model }
 // router instead).
 func (ld *LiveDeployment) Table() *RoutingTable { return ld.Router.LoadModel(ld.model) }
 
-// Epoch returns the current plan epoch number.
-func (ld *LiveDeployment) Epoch() int64 { return ld.Table().Epoch }
+// Epoch returns the current plan epoch number (-1 once the deployment has
+// been shut down and its model unregistered).
+func (ld *LiveDeployment) Epoch() int64 {
+	if rt := ld.Table(); rt != nil {
+		return rt.Epoch
+	}
+	return -1
+}
 
 // Boundaries returns the current epoch's per-table boundary plan.
 func (ld *LiveDeployment) Boundaries() []int64 { return ld.Table().Plan }
@@ -580,6 +634,50 @@ func (f predictFunc) Predict(ctx context.Context, req *PredictRequest, reply *Pr
 }
 
 var _ PredictClient = (*LiveDeployment)(nil)
+
+// Shutdown gracefully retires the deployment from a live router: the
+// drain-half of the model lifecycle (Controller.Undeploy drives it after
+// unpublishing the model from the frontend). The sequence is
+// flush → unregister → drain → freeze → close → clear:
+//
+//  1. the batcher (if any) is closed first, flushing every queued request
+//     through the still-registered model;
+//  2. the model is unregistered from the router — the name is immediately
+//     reusable, and new acquisitions fail with "serves no model";
+//  3. the final epoch drains: every request that pinned it before the
+//     unregistration completes normally (bounded by ctx);
+//  4. the final per-shard utilities are frozen into the EpochUtility
+//     gauges, then the epoch closes, releasing its shard-unit references;
+//  5. the plan cache clears, dropping its warm references — with both the
+//     epoch's and the cache's references gone, every shard unit tears its
+//     transports down and the variant's shard services are fully released.
+//
+// If the drain outlives ctx the final epoch is intentionally leaked rather
+// than closed under an in-flight request (the cache still clears — cached
+// references are independent of in-flight ones) and the error is returned;
+// the model is unregistered either way.
+func (ld *LiveDeployment) Shutdown(ctx context.Context) error {
+	ld.repartitionMu.Lock()
+	defer ld.repartitionMu.Unlock()
+	if ld.Batcher != nil {
+		_ = ld.Batcher.Close()
+	}
+	for _, s := range ld.servers {
+		_ = s.Close()
+	}
+	ld.servers = nil
+	rt, err := ld.Router.Unregister(ld.model)
+	if err != nil {
+		return fmt.Errorf("serving: shutdown: %w", err)
+	}
+	drainErr := rt.Drain(ctx)
+	if drainErr == nil {
+		ld.recordEpochUtility(rt)
+		rt.Close()
+	}
+	ld.cache.clear()
+	return drainErr
+}
 
 // Close flushes the batcher (if any) and tears down the frontend servers
 // and the current epoch's transport resources.

@@ -96,6 +96,15 @@ type cachedUnit struct {
 	lastEpoch int64
 }
 
+// cachedPlan is one memoized replan outcome: the DP boundaries computed
+// from a profiling window with this fingerprint. Keyed alongside the
+// Preprocess memo so a re-trigger on an already-seen window skips the DP
+// replan entirely, not just the hotness sort it feeds.
+type cachedPlan struct {
+	boundaries []int64
+	lastEpoch  int64
+}
+
 // planCache memoizes one model's plan-construction outputs across epochs.
 // maxAge < 0 disables caching entirely (every build is cold); maxAge == n
 // keeps an entry alive for n epochs past its last use.
@@ -104,6 +113,7 @@ type planCache struct {
 	maxAge int64
 	pres   map[uint64]*cachedPre
 	units  map[unitKey]*cachedUnit
+	plans  map[uint64]*cachedPlan
 }
 
 // newPlanCache creates a cache retaining entries for maxAge epochs past
@@ -113,6 +123,7 @@ func newPlanCache(maxAge int64) *planCache {
 		maxAge: maxAge,
 		pres:   make(map[uint64]*cachedPre),
 		units:  make(map[unitKey]*cachedUnit),
+		plans:  make(map[uint64]*cachedPlan),
 	}
 }
 
@@ -142,6 +153,33 @@ func (c *planCache) putPre(fp uint64, pre *Preprocessed, epoch int64) {
 	}
 	c.mu.Lock()
 	c.pres[fp] = &cachedPre{pre: pre, lastEpoch: epoch}
+	c.mu.Unlock()
+}
+
+// lookupPlan returns the memoized replan boundaries for a window
+// fingerprint, refreshing their age (nil on miss or when disabled). The
+// returned slice is a copy — callers may keep or mutate it freely.
+func (c *planCache) lookupPlan(fp uint64, epoch int64) []int64 {
+	if c.disabled() {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.plans[fp]
+	if !ok {
+		return nil
+	}
+	e.lastEpoch = epoch
+	return append([]int64(nil), e.boundaries...)
+}
+
+// putPlan memoizes a freshly computed replan outcome (the slice is copied).
+func (c *planCache) putPlan(fp uint64, boundaries []int64, epoch int64) {
+	if c.disabled() {
+		return
+	}
+	c.mu.Lock()
+	c.plans[fp] = &cachedPlan{boundaries: append([]int64(nil), boundaries...), lastEpoch: epoch}
 	c.mu.Unlock()
 }
 
@@ -187,6 +225,11 @@ func (c *planCache) evict(epoch int64) {
 			delete(c.pres, fp)
 		}
 	}
+	for fp, e := range c.plans {
+		if e.lastEpoch < epoch-c.maxAge {
+			delete(c.plans, fp)
+		}
+	}
 	for key, e := range c.units {
 		if e.lastEpoch < epoch-c.maxAge {
 			delete(c.units, key)
@@ -207,10 +250,30 @@ func (c *planCache) clear() {
 	units := c.units
 	c.pres = make(map[uint64]*cachedPre)
 	c.units = make(map[unitKey]*cachedUnit)
+	c.plans = make(map[uint64]*cachedPlan)
 	c.mu.Unlock()
 	for _, e := range units {
 		e.unit.release()
 	}
+}
+
+// occupancy snapshots the cache's current footprint: entry counts per memo
+// kind and the bytes of cached sorted tables (the dominant cost — each
+// memoized Preprocess output holds a full sorted copy of every embedding
+// table). This is the per-model number the cross-variant cache budget
+// (ROADMAP) will aggregate into a global LRU.
+func (c *planCache) occupancy() (pres, units, plans int, sortedBytes int64) {
+	if c.disabled() {
+		return 0, 0, 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.pres {
+		for _, tab := range e.pre.Sorted {
+			sortedBytes += tab.SizeBytes()
+		}
+	}
+	return len(c.pres), len(c.units), len(c.plans), sortedBytes
 }
 
 // fingerprintStats content-hashes a profiling window (per-table access
@@ -254,6 +317,19 @@ type BuildCounters struct {
 	// ShardsReused counts shard services carried across epochs by
 	// refcount instead of being rebuilt.
 	ShardsReused int64
+	// Replans counts DP replan invocations (fingerprint-memo misses);
+	// ReplanMemoHits counts triggers whose boundaries came straight from
+	// the memo, skipping the DP entirely.
+	Replans        int64
+	ReplanMemoHits int64
+	// CachedPres / CachedUnits / CachedPlans are the plan cache's current
+	// entry counts; CachedSortedBytes is the bytes of cached sorted tables
+	// those Preprocess memos pin — the per-model input to the cross-variant
+	// cache budget.
+	CachedPres        int
+	CachedUnits       int
+	CachedPlans       int
+	CachedSortedBytes int64
 }
 
 // SwapReport describes what one Repartition (or initial build) actually

@@ -211,6 +211,11 @@ type ModelRepartition struct {
 // repartition trigger: when the deployment's per-shard utility skew
 // (Fig. 14) exceeds the policy threshold, it re-plans and swaps the
 // partition epoch while traffic keeps flowing.
+//
+// Shards and Repartitions may be set directly before Start; once the loop
+// is running, mutate them through the Add/Set/Remove methods — that is how
+// the serving control plane starts and stops per-variant loops as models
+// are deployed into and drained out of a live frontend (Controller.Bind).
 type LiveAutoscaler struct {
 	Shards   []*AutoscaledShard
 	Interval time.Duration
@@ -242,8 +247,64 @@ type LiveAutoscaler struct {
 	// its own policy, so variants swap plans on independent cadences.
 	Repartitions []*ModelRepartition
 
+	// mu guards Shards and Repartitions once the loop runs; the step loop
+	// snapshots both under it and evaluates lock-free, so a lifecycle
+	// operation adding or removing a variant's loops never deadlocks
+	// against an in-flight evaluation.
+	mu   sync.Mutex
 	stop chan struct{}
 	wg   sync.WaitGroup
+}
+
+// AddRepartition starts a per-variant repartition loop at runtime (the
+// deploy half of the model lifecycle).
+func (a *LiveAutoscaler) AddRepartition(mr *ModelRepartition) {
+	if mr == nil {
+		return
+	}
+	a.mu.Lock()
+	a.Repartitions = append(a.Repartitions, mr)
+	a.mu.Unlock()
+}
+
+// RemoveRepartition stops the named variant's repartition loop (the
+// undeploy half). An evaluation already in flight finishes — harmlessly,
+// since a retired model's swap fails fast — but no further ticks evaluate
+// the variant.
+func (a *LiveAutoscaler) RemoveRepartition(model string) {
+	a.mu.Lock()
+	keep := a.Repartitions[:0]
+	for _, mr := range a.Repartitions {
+		name := mr.Model
+		if name == "" && mr.Deployment != nil {
+			name = mr.Deployment.Model()
+		}
+		if name != model {
+			keep = append(keep, mr)
+		}
+	}
+	a.Repartitions = keep
+	a.mu.Unlock()
+}
+
+// SetModelShards replaces the named variant's replica-scaling entries —
+// called at deploy and after every epoch swap so the scaling loop always
+// targets the pools that are actually serving.
+func (a *LiveAutoscaler) SetModelShards(model string, shards ...*AutoscaledShard) {
+	a.mu.Lock()
+	keep := a.Shards[:0]
+	for _, s := range a.Shards {
+		if s.Model != model {
+			keep = append(keep, s)
+		}
+	}
+	a.Shards = append(keep, shards...)
+	a.mu.Unlock()
+}
+
+// RemoveModelShards drops the named variant's replica-scaling entries.
+func (a *LiveAutoscaler) RemoveModelShards(model string) {
+	a.SetModelShards(model)
 }
 
 // Start launches the control loop.
@@ -270,13 +331,19 @@ func (a *LiveAutoscaler) Start() {
 
 // step evaluates every shard once (exported for deterministic tests via
 // Evaluate), then the single-model repartition trigger, then every
-// per-model repartition loop.
+// per-model repartition loop. Shards and loops are snapshotted under the
+// mutex and evaluated lock-free, so lifecycle add/remove calls are never
+// blocked behind a slow swap.
 func (a *LiveAutoscaler) step() {
-	for _, s := range a.Shards {
+	a.mu.Lock()
+	shards := append([]*AutoscaledShard(nil), a.Shards...)
+	loops := append([]*ModelRepartition(nil), a.Repartitions...)
+	a.mu.Unlock()
+	for _, s := range shards {
 		_ = a.Evaluate(s)
 	}
 	_, _ = a.EvaluateRepartition(time.Now())
-	for _, mr := range a.Repartitions {
+	for _, mr := range loops {
 		_, _ = a.EvaluateModelRepartition(mr, time.Now())
 	}
 }
@@ -349,6 +416,11 @@ func (a *LiveAutoscaler) EvaluateModelRepartition(mr *ModelRepartition, now time
 		name = mr.Deployment.Model()
 	}
 	rt := mr.Deployment.Table()
+	if rt == nil {
+		// The model was undeployed between the loop snapshot and this
+		// evaluation; nothing to judge.
+		return false, nil
+	}
 	if !mr.Policy.ShouldRepartitionModel(name, rt.UtilitySkew(), rt.Served.Value(), now) {
 		return false, nil
 	}
@@ -356,7 +428,9 @@ func (a *LiveAutoscaler) EvaluateModelRepartition(mr *ModelRepartition, now time
 	if stats == nil {
 		return false, fmt.Errorf("serving: repartition of model %q triggered without a live profiling window", name)
 	}
-	boundaries, err := mr.Replan(stats)
+	// The replan routes through the deployment's fingerprint-keyed memo: a
+	// window already replanned recently reuses its DP boundaries outright.
+	boundaries, err := mr.Deployment.ReplanMemo(stats, mr.Replan)
 	if err == nil {
 		// The profile snapshot rides into the build so the new epoch's
 		// fresh shards are pre-warmed from the fresh CDF before publish;

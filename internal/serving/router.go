@@ -250,7 +250,11 @@ func NewRouter(rt *RoutingTable) *Router {
 
 // Register adds a model with its initial epoch. Registering an
 // already-served model is an error — epoch succession goes through
-// Publish, not Register.
+// Publish, not Register. Registration is a first-class runtime operation:
+// the routes map is copy-on-write, so a model can be registered into a
+// router that is actively serving other models without blocking a single
+// request. A name freed by Unregister is immediately reusable, with a
+// fresh slot (epoch pointer and swap counter start over).
 func (r *Router) Register(mdl string, rt *RoutingTable) error {
 	if rt == nil {
 		return fmt.Errorf("serving: register model %q with a nil routing table", mdl)
@@ -272,6 +276,33 @@ func (r *Router) Register(mdl string, rt *RoutingTable) error {
 	next[name] = mr
 	r.routes.Store(&next)
 	return nil
+}
+
+// Unregister removes a model from the routing map and returns its final
+// epoch table (the caller drains and closes it to finish the teardown).
+// Removal is tombstone-free: the slot is dropped from a copy of the map,
+// so the name is immediately reusable by Register and no retired-model
+// state (epoch pointer, swap counter) survives in the router. A request
+// that raced the removal either misses the new map (and gets the usual
+// "serves no model" error) or pinned the final epoch before the swap — the
+// returned table's refcount still covers it, so Drain waits it out.
+func (r *Router) Unregister(mdl string) (*RoutingTable, error) {
+	name := canonicalModel(mdl)
+	r.registerMu.Lock()
+	defer r.registerMu.Unlock()
+	old := *r.routes.Load()
+	mr, ok := old[name]
+	if !ok {
+		return nil, fmt.Errorf("serving: unregister of model %q: not registered", name)
+	}
+	next := make(map[string]*modelRoute, len(old)-1)
+	for k, v := range old {
+		if k != name {
+			next[k] = v
+		}
+	}
+	r.routes.Store(&next)
+	return mr.current.Load(), nil
 }
 
 // route returns the model's slot (nil when unregistered); one atomic load.

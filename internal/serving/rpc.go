@@ -50,6 +50,13 @@ func (s *RPCServer) RegisterPredict(name string, svc PredictClient) error {
 	return s.server.RegisterName(name, &predictRPC{svc: svc})
 }
 
+// RegisterAdmin exposes a deployment's lifecycle control plane under name
+// (conventionally AdminServiceName(frontend), so the admin endpoint rides
+// the same listener as the predict traffic it administers).
+func (s *RPCServer) RegisterAdmin(name string, ctrl *Controller) error {
+	return s.server.RegisterName(name, &adminRPC{ctrl: ctrl})
+}
+
 func (s *RPCServer) acceptLoop() {
 	for {
 		conn, err := s.listener.Accept()
