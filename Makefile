@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short race race-repartition lifecycle-smoke bench bench-smoke bench-json bench-guard fmt fmt-check vet lint-doc ci
+.PHONY: build test test-short race race-repartition lifecycle-smoke bench bench-smoke bench-json bench-guard scenario-smoke scenario-guard fmt fmt-check vet lint-doc ci
 
 build:
 	$(GO) build ./...
@@ -15,9 +15,12 @@ test-short:
 
 # Race-check the concurrency-heavy packages: the dynamic batcher and the
 # lock-free dense hot path live in serving; cluster and workload drive
-# goroutine-based control loops and traffic generators.
+# goroutine-based control loops and traffic generators. The scenario
+# harness runs without -short so its live runs (concurrent clients against
+# fault-injected pools) execute under the detector.
 race:
 	$(GO) test -race -short ./internal/serving/... ./internal/cluster/... ./internal/workload/...
+	$(GO) test -race -count=1 ./internal/scenario/...
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
@@ -63,6 +66,24 @@ bench-guard:
 	$(GO) test -run='^$$' -bench='Serving_(EndToEndPredict|Repartition)' -benchmem -benchtime=20x . > bench-guard.txt
 	$(GO) run ./cmd/benchjson < bench-guard.txt > bench-guard.json
 	$(GO) run ./cmd/benchguard -baseline BENCH_serving.json -current bench-guard.json -filter Serving_EndToEndPredict,Serving_Repartition -max-regress 0.25
+
+# Scenario smoke: run every checked-in declarative scenario
+# (examples/scenarios/*.json) in short mode against a live deployment,
+# writing one BENCH_scenario_<name>.json artifact per spec into the repo
+# root.
+scenario-smoke:
+	$(GO) run ./cmd/elasticrec -short scenario -config examples/scenarios -out .
+
+# Scenario-regression gate: diff the freshly measured scenario artifacts
+# against the checked-in baselines (examples/scenarios/baselines/) on
+# p50/p99 latency ratio and absolute error-rate increase. The latency
+# threshold is generous (4x) because CI hardware varies; the error-rate
+# gate is hardware-independent — fault-injection runs must stay at zero
+# leaked failures. Refresh baselines by re-running `make scenario-smoke`
+# and copying the artifacts into the baselines directory when a change
+# legitimately moves them.
+scenario-guard:
+	$(GO) run ./cmd/scenarioguard -baseline-dir examples/scenarios/baselines -current-dir .
 
 fmt:
 	gofmt -w .

@@ -1,9 +1,11 @@
 // Command benchguard compares two BENCH_serving.json-style files (see
-// cmd/benchjson) and fails when a benchmark's allocs/op regressed past a
-// threshold against the checked-in baseline. CI runs it after the smoke
-// benches so an allocation regression on the Predict hot path fails the
-// build instead of silently accreting; allocs/op is compared (not ns/op)
-// because it is deterministic across runner hardware.
+// cmd/benchjson and internal/benchio) and fails when a benchmark's
+// allocs/op regressed past a threshold against the checked-in baseline. CI
+// runs it after the smoke benches so an allocation regression on the
+// Predict hot path fails the build instead of silently accreting;
+// allocs/op is compared (not ns/op) because it is deterministic across
+// runner hardware. Whole-scenario artifacts are guarded by the companion
+// cmd/scenarioguard.
 //
 // Usage:
 //
@@ -12,35 +14,12 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
+
+	"repro/internal/benchio"
 )
-
-// BenchRow is the subset of cmd/benchjson's output benchguard compares.
-type BenchRow struct {
-	Name        string  `json:"name"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
-}
-
-// loadRows reads a benchjson artifact into a name-keyed map.
-func loadRows(path string) (map[string]BenchRow, error) {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var rows []BenchRow
-	if err := json.Unmarshal(raw, &rows); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	out := make(map[string]BenchRow, len(rows))
-	for _, r := range rows {
-		out[r.Name] = r
-	}
-	return out, nil
-}
 
 // regression describes one benchmark that got worse past the threshold.
 type regression struct {
@@ -48,28 +27,14 @@ type regression struct {
 	baseline, actual float64
 }
 
-// matchesAny reports whether name contains at least one of the
-// comma-separated substrings in filter (an empty filter matches all).
-func matchesAny(name, filter string) bool {
-	if filter == "" {
-		return true
-	}
-	for _, sub := range strings.Split(filter, ",") {
-		if sub != "" && strings.Contains(name, sub) {
-			return true
-		}
-	}
-	return false
-}
-
 // check compares current against baseline on allocs/op for names matching
 // filter (comma-separated substrings), returning the regressions past
 // maxRegress (a fraction: 0.25 allows +25%). Benches absent from either
 // side, or with a zero baseline, are skipped — new benches must not fail
 // the guard retroactively.
-func check(baseline, current map[string]BenchRow, filter string, maxRegress float64) (compared int, regs []regression) {
+func check(baseline, current map[string]benchio.Row, filter string, maxRegress float64) (compared int, regs []regression) {
 	for name, base := range baseline {
-		if !matchesAny(name, filter) {
+		if !benchio.MatchesAny(name, filter) {
 			continue
 		}
 		cur, ok := current[name]
@@ -84,6 +49,15 @@ func check(baseline, current map[string]BenchRow, filter string, maxRegress floa
 	return compared, regs
 }
 
+// load reads an artifact into a name-keyed map.
+func load(path string) (map[string]benchio.Row, error) {
+	rows, err := benchio.LoadRows(path)
+	if err != nil {
+		return nil, err
+	}
+	return benchio.ByName(rows), nil
+}
+
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_serving.json", "checked-in baseline artifact")
 	currentPath := flag.String("current", "", "freshly measured artifact to judge")
@@ -94,12 +68,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchguard: -current is required")
 		os.Exit(2)
 	}
-	baseline, err := loadRows(*baselinePath)
+	baseline, err := load(*baselinePath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
 		os.Exit(2)
 	}
-	current, err := loadRows(*currentPath)
+	current, err := load(*currentPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
 		os.Exit(2)

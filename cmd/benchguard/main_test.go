@@ -1,11 +1,15 @@
 package main
 
-import "testing"
+import (
+	"testing"
 
-func rows(pairs map[string]float64) map[string]BenchRow {
-	out := make(map[string]BenchRow, len(pairs))
+	"repro/internal/benchio"
+)
+
+func rows(pairs map[string]float64) map[string]benchio.Row {
+	out := make(map[string]benchio.Row, len(pairs))
 	for name, allocs := range pairs {
-		out[name] = BenchRow{Name: name, AllocsPerOp: allocs}
+		out[name] = benchio.Row{Name: name, AllocsPerOp: allocs}
 	}
 	return out
 }
@@ -62,8 +66,8 @@ func TestMatchesAnyCommaSeparated(t *testing.T) {
 		{"BenchmarkServing_ConcurrentPredict/batched/clients=8", "Serving_EndToEndPredict,Serving_Repartition", false},
 		{"BenchmarkAnything", "", true},
 	} {
-		if got := matchesAny(tc.name, tc.filter); got != tc.want {
-			t.Fatalf("matchesAny(%q, %q) = %v, want %v", tc.name, tc.filter, got, tc.want)
+		if got := benchio.MatchesAny(tc.name, tc.filter); got != tc.want {
+			t.Fatalf("MatchesAny(%q, %q) = %v, want %v", tc.name, tc.filter, got, tc.want)
 		}
 	}
 }

@@ -1,7 +1,10 @@
 // Command benchjson converts `go test -bench` output on stdin into a
-// machine-readable JSON array on stdout, so CI can archive the serving
-// bench trajectory as an artifact (BENCH_serving.json) and diff it
-// run-over-run instead of eyeballing text logs.
+// machine-readable JSON array on stdout (internal/benchio rows), so CI can
+// archive the serving bench trajectory as an artifact (BENCH_serving.json)
+// and diff it run-over-run instead of eyeballing text logs. Custom metrics
+// reported under the shared artifact schema's unit names (qps, offered-qps,
+// p50-ms, p95-ms, p99-ms, err-rate) land in their typed fields; anything
+// else is preserved in Extra.
 //
 // Usage:
 //
@@ -16,31 +19,13 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"repro/internal/benchio"
 )
 
-// BenchResult is one benchmark line, flattened.
-type BenchResult struct {
-	Name string `json:"name"`
-	// Model is the DLRM variant the row measures, extracted from a
-	// "model=NAME" path segment of multi-model sub-benchmarks (e.g.
-	// BenchmarkServing_MultiModelPredict/model=hot/clients=4). Empty for
-	// single-model rows, so per-model serving trajectories can be
-	// filtered and diffed run-over-run.
-	Model       string  `json:"model,omitempty"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
-	// QPS carries the serving benches' custom throughput metric
-	// (b.ReportMetric(..., "qps")), 0 when the bench doesn't report one.
-	QPS float64 `json:"qps,omitempty"`
-	// Extra holds any remaining custom metrics by unit name.
-	Extra map[string]float64 `json:"extra,omitempty"`
-}
-
 // parseBench extracts benchmark results from go test -bench output.
-func parseBench(r io.Reader) ([]BenchResult, error) {
-	var out []BenchResult
+func parseBench(r io.Reader) ([]benchio.Row, error) {
+	var out []benchio.Row
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -56,7 +41,7 @@ func parseBench(r io.Reader) ([]BenchResult, error) {
 		if err != nil {
 			continue // e.g. "Benchmark... [no tests to run]"
 		}
-		res := BenchResult{
+		res := benchio.Row{
 			// Strip the -GOMAXPROCS suffix so names are stable across
 			// machines.
 			Name:       trimProcSuffix(fields[0]),
@@ -78,6 +63,16 @@ func parseBench(r io.Reader) ([]BenchResult, error) {
 				res.AllocsPerOp = v
 			case "qps":
 				res.QPS = v
+			case "offered-qps":
+				res.OfferedQPS = v
+			case "p50-ms":
+				res.P50Ms = v
+			case "p95-ms":
+				res.P95Ms = v
+			case "p99-ms":
+				res.P99Ms = v
+			case "err-rate":
+				res.ErrorRate = v
 			default:
 				if res.Extra == nil {
 					res.Extra = map[string]float64{}
@@ -123,7 +118,7 @@ func main() {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if results == nil {
-		results = []BenchResult{}
+		results = []benchio.Row{}
 	}
 	if err := enc.Encode(results); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)

@@ -11,6 +11,7 @@ pkg: repro
 BenchmarkServing_ConcurrentPredict/unbatched/clients=1-8         	     200	   5119561 ns/op	        39.06 qps	  123456 B/op	    1234 allocs/op
 BenchmarkServing_EndToEndPredict-8   	    1000	    456789 ns/op	   98765 B/op	     321 allocs/op
 BenchmarkFig19_DynamicTraffic-8      	       2	 600000000 ns/op	        31.5 peak-mem-ratio-x
+BenchmarkScenario_Steady-8           	       1	 900000000 ns/op	       118.5 qps	       120.0 offered-qps	         3.25 p50-ms	         8.5 p95-ms	        12.75 p99-ms	         0.001 err-rate	         2 swaps
 PASS
 ok  	repro	12.3s
 `
@@ -20,8 +21,8 @@ func TestParseBench(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 3 {
-		t.Fatalf("parsed %d results, want 3", len(results))
+	if len(results) != 4 {
+		t.Fatalf("parsed %d results, want 4", len(results))
 	}
 	r0 := results[0]
 	if r0.Name != "BenchmarkServing_ConcurrentPredict/unbatched/clients=1" {
@@ -38,6 +39,18 @@ func TestParseBench(t *testing.T) {
 	}
 	if results[2].Extra["peak-mem-ratio-x"] != 31.5 {
 		t.Fatalf("r2 extra = %+v", results[2].Extra)
+	}
+	// Scenario-style units land in the typed fields of the shared schema,
+	// with unrecognized units preserved in Extra.
+	r3 := results[3]
+	if r3.QPS != 118.5 || r3.OfferedQPS != 120 {
+		t.Fatalf("r3 rates = %+v", r3)
+	}
+	if r3.P50Ms != 3.25 || r3.P95Ms != 8.5 || r3.P99Ms != 12.75 || r3.ErrorRate != 0.001 {
+		t.Fatalf("r3 latencies = %+v", r3)
+	}
+	if r3.Extra["swaps"] != 2 {
+		t.Fatalf("r3 extra = %+v", r3.Extra)
 	}
 }
 

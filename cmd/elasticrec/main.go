@@ -6,6 +6,7 @@
 //
 //	elasticrec [-short] <experiment> [...]
 //	elasticrec all
+//	elasticrec [-short] scenario -config FILE|DIR [-out DIR]
 //	elasticrec admin -addr HOST:PORT [-frontend NAME] status [model]
 //	elasticrec admin -addr HOST:PORT [-frontend NAME] undeploy <model>
 //	elasticrec admin -addr HOST:PORT [-frontend NAME] deploy -model NAME [options]
@@ -13,6 +14,13 @@
 // Experiments: tables, fig3, fig5, fig6, fig9, fig12a, fig12b, fig12c,
 // fig12d, fig13, fig14, fig15, fig16, fig17, fig18, fig19, fig20,
 // schemes, stress, repartition, multimodel, lifecycle.
+//
+// The scenario subcommand runs declarative experiment specs (see
+// internal/scenario and docs/SCENARIOS.md): each spec stands up a live
+// multi-model deployment, drives shaped Poisson traffic through the
+// exported frontend, injects the spec's fault/lifecycle timeline, and
+// writes a BENCH_scenario_<name>.json artifact cmd/scenarioguard diffs
+// against its checked-in baseline.
 //
 // The admin subcommand drives the versioned control-plane endpoints
 // (Admin.Deploy / Admin.Undeploy / Admin.Status) exported on a frontend's
@@ -77,6 +85,7 @@ func experiments() []experiment {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: elasticrec [-short] <experiment> [...] | all")
+	fmt.Fprintln(os.Stderr, "       elasticrec [-short] scenario -config FILE|DIR [-out DIR]")
 	fmt.Fprintln(os.Stderr, "       elasticrec admin -addr HOST:PORT [-frontend NAME] status|deploy|undeploy ...")
 	fmt.Fprintln(os.Stderr, "experiments:")
 	exps := experiments()
@@ -103,6 +112,13 @@ func main() {
 	if strings.EqualFold(args[0], "admin") {
 		if err := runAdmin(args[1:]); err != nil {
 			fmt.Fprintf(os.Stderr, "admin: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if strings.EqualFold(args[0], "scenario") {
+		if err := runScenario(args[1:]); err != nil {
+			fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
 			os.Exit(1)
 		}
 		return

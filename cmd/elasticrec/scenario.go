@@ -1,0 +1,112 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+// runScenario executes declarative scenario specs (internal/scenario): one
+// JSON file, or every *.json spec directly inside a directory. Each run
+// prints a summary table and writes its BENCH_scenario_<name>.json
+// artifact into -out. The global -short flag compresses every spec's
+// timeline for smoke runs.
+func runScenario(args []string) error {
+	fs := flag.NewFlagSet("scenario", flag.ExitOnError)
+	config := fs.String("config", "", "scenario spec file, or a directory of *.json specs (required)")
+	out := fs.String("out", ".", "directory to write BENCH_scenario_*.json artifacts into")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: elasticrec [-short] scenario -config FILE|DIR [-out DIR]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *config == "" {
+		fs.Usage()
+		return fmt.Errorf("need -config")
+	}
+	paths, err := specPaths(*config)
+	if err != nil {
+		return err
+	}
+	for _, path := range paths {
+		spec, err := scenario.ParseFile(path)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== scenario %s (%s)\n", spec.Name, path)
+		res, err := scenario.Run(spec, scenario.Options{
+			Short: *short,
+			Logf: func(format string, a ...any) {
+				fmt.Printf("   "+format+"\n", a...)
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", spec.Name, err)
+		}
+		fmt.Println(scenarioTable(res).String())
+		artifact, err := res.WriteArtifact(*out)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n\n", artifact)
+	}
+	return nil
+}
+
+// specPaths resolves -config to the ordered list of spec files to run.
+func specPaths(config string) ([]string, error) {
+	info, err := os.Stat(config)
+	if err != nil {
+		return nil, err
+	}
+	if !info.IsDir() {
+		return []string{config}, nil
+	}
+	paths, err := filepath.Glob(filepath.Join(config, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("scenario: no *.json specs in %s", config)
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// scenarioTable renders a run's total, per-model and per-phase metrics.
+func scenarioTable(res *scenario.Result) *core.Table {
+	tab := &core.Table{
+		Title:  fmt.Sprintf("scenario %s (%v, warmup %v, %d events)", res.Name, res.Duration, res.Warmup, len(res.Events)),
+		Header: []string{"scope", "requests", "errors", "offered qps", "qps", "p50", "p95", "p99"},
+	}
+	row := func(scope string, m scenario.Metrics) []string {
+		return []string{
+			scope,
+			fmt.Sprintf("%d", m.Requests),
+			fmt.Sprintf("%d", m.Errors),
+			fmt.Sprintf("%.1f", m.OfferedQPS),
+			fmt.Sprintf("%.1f", m.AchievedQPS),
+			m.P50.Round(10 * time.Microsecond).String(),
+			m.P95.Round(10 * time.Microsecond).String(),
+			m.P99.Round(10 * time.Microsecond).String(),
+		}
+	}
+	tab.Rows = append(tab.Rows, row("total", res.Total))
+	for _, mr := range res.Models {
+		tab.Rows = append(tab.Rows, row("model "+mr.Model, mr.Metrics))
+	}
+	if len(res.Phases) > 1 {
+		for _, ph := range res.Phases {
+			tab.Rows = append(tab.Rows, row("phase "+ph.Name, ph.Metrics))
+		}
+	}
+	return tab
+}

@@ -1,0 +1,166 @@
+// Command scenarioguard diffs a directory of freshly measured scenario
+// artifacts (BENCH_scenario_*.json, see internal/scenario) against their
+// checked-in baselines and fails on latency or error-rate regressions, the
+// run-over-run gate the CI scenario-matrix job enforces. Latency is judged
+// as a ratio against the baseline row (p50 and p99 separately) with a
+// deliberately generous default threshold — CI runners vary — while
+// error-rate is judged as an absolute increase, which is
+// hardware-independent: a scenario whose fault injection starts leaking
+// failed requests trips the guard no matter how fast the machine is.
+//
+// Usage:
+//
+//	scenarioguard -baseline-dir examples/scenarios/baselines -current-dir . \
+//	    [-max-latency-ratio 4.0] [-max-error-increase 0.01]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/benchio"
+)
+
+// regression is one row metric that got worse past its threshold.
+type regression struct {
+	artifact, row, metric string
+	baseline, actual      float64
+}
+
+func (r regression) String() string {
+	return fmt.Sprintf("%s: %s %s regressed %.3f -> %.3f", r.artifact, r.row, r.metric, r.baseline, r.actual)
+}
+
+// thresholds configures the per-metric gates.
+type thresholds struct {
+	// latencyRatio is the allowed p50/p99 multiple of baseline (4.0 =
+	// current may be up to 4x the baseline quantile).
+	latencyRatio float64
+	// errorIncrease is the allowed absolute error-rate increase over
+	// baseline (0.01 = one extra failed request per hundred).
+	errorIncrease float64
+}
+
+// compareRows diffs one artifact's rows against its baseline rows. Rows
+// missing from either side are skipped (new rows must not fail
+// retroactively); compared counts row/metric pairs actually judged.
+func compareRows(artifact string, baseline, current []benchio.Row, th thresholds) (compared int, regs []regression) {
+	base := benchio.ByName(baseline)
+	for _, cur := range current {
+		b, ok := base[cur.Name]
+		if !ok {
+			continue
+		}
+		for _, m := range []struct {
+			metric       string
+			base, actual float64
+		}{
+			{"p50_ms", b.P50Ms, cur.P50Ms},
+			{"p99_ms", b.P99Ms, cur.P99Ms},
+		} {
+			if m.base <= 0 {
+				continue // no baseline signal for this quantile
+			}
+			compared++
+			if m.actual > m.base*th.latencyRatio {
+				regs = append(regs, regression{artifact: artifact, row: cur.Name,
+					metric: m.metric, baseline: m.base, actual: m.actual})
+			}
+		}
+		compared++
+		if cur.ErrorRate > b.ErrorRate+th.errorIncrease {
+			regs = append(regs, regression{artifact: artifact, row: cur.Name,
+				metric: "error_rate", baseline: b.ErrorRate, actual: cur.ErrorRate})
+		}
+	}
+	return compared, regs
+}
+
+// scenarioArtifacts lists the BENCH_scenario_*.json files in dir by base
+// name.
+func scenarioArtifacts(dir string) (map[string]string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_scenario_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string, len(matches))
+	for _, m := range matches {
+		out[filepath.Base(m)] = m
+	}
+	return out, nil
+}
+
+// run executes the guard and returns its exit code (0 pass, 1 regression,
+// 2 usage/overlap error), printing to stdout/stderr.
+func run(baselineDir, currentDir, filter string, th thresholds) int {
+	baselines, err := scenarioArtifacts(baselineDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scenarioguard: %v\n", err)
+		return 2
+	}
+	currents, err := scenarioArtifacts(currentDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scenarioguard: %v\n", err)
+		return 2
+	}
+	names := make([]string, 0, len(baselines))
+	for name := range baselines {
+		if _, ok := currents[name]; ok && benchio.MatchesAny(name, filter) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintf(os.Stderr, "scenarioguard: no scenario artifacts in common between %s and %s\n",
+			baselineDir, currentDir)
+		return 2
+	}
+	var (
+		compared int
+		regs     []regression
+	)
+	for _, name := range names {
+		base, err := benchio.LoadRows(baselines[name])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scenarioguard: %v\n", err)
+			return 2
+		}
+		cur, err := benchio.LoadRows(currents[name])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scenarioguard: %v\n", err)
+			return 2
+		}
+		artifact := strings.TrimSuffix(strings.TrimPrefix(name, "BENCH_scenario_"), ".json")
+		c, r := compareRows(artifact, base, cur, th)
+		compared += c
+		regs = append(regs, r...)
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "scenarioguard: artifacts overlap but no comparable metrics (empty baselines?)")
+		return 2
+	}
+	if len(regs) > 0 {
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "scenarioguard: %s\n", r)
+		}
+		return 1
+	}
+	fmt.Printf("scenarioguard: %d scenarios, %d metrics within thresholds (latency <= %.1fx, error-rate <= +%.3f)\n",
+		len(names), compared, th.latencyRatio, th.errorIncrease)
+	return 0
+}
+
+func main() {
+	baselineDir := flag.String("baseline-dir", "examples/scenarios/baselines", "directory of checked-in BENCH_scenario_*.json baselines")
+	currentDir := flag.String("current-dir", ".", "directory of freshly measured BENCH_scenario_*.json artifacts")
+	filter := flag.String("filter", "", "only guard artifact names containing one of these comma-separated substrings")
+	latencyRatio := flag.Float64("max-latency-ratio", 4.0, "allowed p50/p99 multiple of the baseline quantile")
+	errorIncrease := flag.Float64("max-error-increase", 0.01, "allowed absolute error-rate increase over baseline")
+	flag.Parse()
+	os.Exit(run(*baselineDir, *currentDir, *filter,
+		thresholds{latencyRatio: *latencyRatio, errorIncrease: *errorIncrease}))
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/benchio"
+)
+
+func healthyRows() []benchio.Row {
+	return []benchio.Row{
+		{Name: "Scenario_steady", QPS: 95, OfferedQPS: 100, P50Ms: 2, P95Ms: 6, P99Ms: 10, ErrorRate: 0},
+		{Name: "Scenario_steady/model=rm1", Model: "rm1", QPS: 95, P50Ms: 2, P99Ms: 10},
+	}
+}
+
+func TestCompareRowsPassesWithinThresholds(t *testing.T) {
+	cur := healthyRows()
+	cur[0].P99Ms = 35 // 3.5x, inside the 4x default
+	compared, regs := compareRows("steady", healthyRows(), cur, thresholds{latencyRatio: 4, errorIncrease: 0.01})
+	if compared == 0 || len(regs) != 0 {
+		t.Fatalf("compared=%d regs=%v", compared, regs)
+	}
+}
+
+func TestCompareRowsFlagsLatencyRegression(t *testing.T) {
+	cur := healthyRows()
+	cur[0].P99Ms = 50 // 5x baseline
+	_, regs := compareRows("steady", healthyRows(), cur, thresholds{latencyRatio: 4, errorIncrease: 0.01})
+	if len(regs) != 1 || regs[0].metric != "p99_ms" {
+		t.Fatalf("regs = %v, want the p99 regression flagged", regs)
+	}
+}
+
+func TestCompareRowsFlagsErrorRateRegression(t *testing.T) {
+	cur := healthyRows()
+	cur[0].ErrorRate = 0.05 // fault injection started leaking failures
+	_, regs := compareRows("steady", healthyRows(), cur, thresholds{latencyRatio: 4, errorIncrease: 0.01})
+	if len(regs) != 1 || regs[0].metric != "error_rate" {
+		t.Fatalf("regs = %v, want the error-rate regression flagged", regs)
+	}
+}
+
+func TestCompareRowsSkipsNewRowsAndZeroBaselines(t *testing.T) {
+	base := []benchio.Row{{Name: "Scenario_steady", P50Ms: 0, P99Ms: 0, ErrorRate: 0}}
+	cur := []benchio.Row{
+		{Name: "Scenario_steady", P50Ms: 100, P99Ms: 100},     // zero-latency baseline: only error-rate judged
+		{Name: "Scenario_steady/phase=new", P99Ms: 1_000_000}, // not in baseline
+	}
+	compared, regs := compareRows("steady", base, cur, thresholds{latencyRatio: 4, errorIncrease: 0.01})
+	if compared != 1 || len(regs) != 0 {
+		t.Fatalf("compared=%d regs=%v, want only the error-rate judged", compared, regs)
+	}
+}
+
+// TestRunFailsOnDegradedArtifact is the end-to-end acceptance check: an
+// artificially degraded run against a healthy checked-in baseline must
+// exit non-zero.
+func TestRunFailsOnDegradedArtifact(t *testing.T) {
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	write := func(dir string, rows []benchio.Row) {
+		t.Helper()
+		if err := benchio.WriteRows(filepath.Join(dir, "BENCH_scenario_steady.json"), rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(baseDir, healthyRows())
+
+	degraded := healthyRows()
+	degraded[0].P50Ms, degraded[0].P99Ms, degraded[0].ErrorRate = 40, 200, 0.2
+	write(curDir, degraded)
+	th := thresholds{latencyRatio: 4, errorIncrease: 0.01}
+	if code := run(baseDir, curDir, "", th); code != 1 {
+		t.Fatalf("degraded run: exit %d, want 1", code)
+	}
+
+	// The same baseline against itself passes.
+	write(curDir, healthyRows())
+	if code := run(baseDir, curDir, "", th); code != 0 {
+		t.Fatalf("healthy run: exit %d, want 0", code)
+	}
+}
+
+func TestRunExitsUsageOnNoOverlap(t *testing.T) {
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	if err := benchio.WriteRows(filepath.Join(baseDir, "BENCH_scenario_a.json"), healthyRows()); err != nil {
+		t.Fatal(err)
+	}
+	if err := benchio.WriteRows(filepath.Join(curDir, "BENCH_scenario_b.json"), healthyRows()); err != nil {
+		t.Fatal(err)
+	}
+	if code := run(baseDir, curDir, "", thresholds{latencyRatio: 4, errorIncrease: 0.01}); code != 2 {
+		t.Fatalf("no overlap: exit %d, want 2", code)
+	}
+}
+
+func TestRunRejectsMalformedArtifact(t *testing.T) {
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	if err := benchio.WriteRows(filepath.Join(baseDir, "BENCH_scenario_a.json"), healthyRows()); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(curDir, "BENCH_scenario_a.json"), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run(baseDir, curDir, "", thresholds{latencyRatio: 4, errorIncrease: 0.01}); code != 2 {
+		t.Fatalf("malformed artifact: exit %d, want 2", code)
+	}
+}

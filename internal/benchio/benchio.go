@@ -1,0 +1,104 @@
+// Package benchio defines the machine-readable benchmark-artifact schema
+// shared by every BENCH_*.json file this repository emits, and the small
+// load/compare helpers the guard commands build on. One row type serves
+// both artifact families: cmd/benchjson flattens `go test -bench` output
+// into rows (BENCH_serving.json), and internal/scenario emits rows for
+// whole scenario runs (BENCH_scenario_<name>.json) — so cmd/benchguard and
+// cmd/scenarioguard diff either kind run-over-run with the same schema.
+package benchio
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Row is one benchmark or scenario measurement, flattened. Fields a
+// producer doesn't measure stay zero and (mostly) omit from the JSON; a
+// consumer reads the subset it guards.
+type Row struct {
+	// Name identifies the measurement: a benchmark name for benchjson
+	// rows, or "Scenario_<name>" (optionally with a "/model=NAME" or
+	// "/phase=NAME" suffix) for scenario rows.
+	Name string `json:"name"`
+	// Model is the DLRM variant the row measures ("" for aggregate or
+	// single-model rows), so per-model trajectories can be filtered.
+	Model string `json:"model,omitempty"`
+
+	// Iterations/NsPerOp/BytesPerOp/AllocsPerOp carry `go test -bench`
+	// measurements (zero on scenario rows).
+	Iterations  int64   `json:"iterations,omitempty"`
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+
+	// QPS is achieved throughput: the serving benches' custom "qps"
+	// metric, or a scenario's completed requests per measured second.
+	QPS float64 `json:"qps,omitempty"`
+	// OfferedQPS is the load the driver offered over the measured
+	// window; QPS/OfferedQPS < 1 means requests were shed or failed.
+	OfferedQPS float64 `json:"offered_qps,omitempty"`
+
+	// P50Ms/P95Ms/P99Ms are client-observed latency quantiles in
+	// milliseconds over the measurement window.
+	P50Ms float64 `json:"p50_ms,omitempty"`
+	P95Ms float64 `json:"p95_ms,omitempty"`
+	P99Ms float64 `json:"p99_ms,omitempty"`
+	// ErrorRate is failed requests / measured requests (0 when every
+	// request succeeded — absent and zero mean the same thing).
+	ErrorRate float64 `json:"error_rate,omitempty"`
+
+	// Extra holds any remaining metrics by name (custom bench units,
+	// scenario swap/replan/cache/shed counters).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// WriteRows writes rows to path as an indented JSON array (never null).
+func WriteRows(path string, rows []Row) error {
+	if rows == nil {
+		rows = []Row{}
+	}
+	raw, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// LoadRows reads a BENCH_*.json artifact.
+func LoadRows(path string) ([]Row, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row
+	if err := json.Unmarshal(raw, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rows, nil
+}
+
+// ByName keys rows by Name (later duplicates win).
+func ByName(rows []Row) map[string]Row {
+	out := make(map[string]Row, len(rows))
+	for _, r := range rows {
+		out[r.Name] = r
+	}
+	return out
+}
+
+// MatchesAny reports whether name contains at least one of the
+// comma-separated substrings in filter (an empty filter matches all) —
+// the guard commands' shared name filter.
+func MatchesAny(name, filter string) bool {
+	if filter == "" {
+		return true
+	}
+	for _, sub := range strings.Split(filter, ",") {
+		if sub != "" && strings.Contains(name, sub) {
+			return true
+		}
+	}
+	return false
+}

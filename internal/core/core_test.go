@@ -303,8 +303,8 @@ func TestRepartitionTable(t *testing.T) {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
 	// The loop's contract: zero failed requests in every phase, the
-	// repartitioned phase serves from epoch 1, and the revert phase (a
-	// plan-cache hit back to the original stats/boundaries) from epoch 2.
+	// repartitioned phase serves from epoch 1, and the revert phase
+	// (hotness shifted back, second live replan) from epoch 2.
 	for _, row := range tab.Rows {
 		if row[4] != "0" {
 			t.Fatalf("phase %s dropped %s requests during the swap", row[0], row[4])

@@ -1,63 +1,36 @@
 package core
 
 import (
-	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/deploy"
 	"repro/internal/embedding"
 	"repro/internal/model"
 	"repro/internal/perfmodel"
-	"repro/internal/serving"
-	"repro/internal/workload"
+	"repro/internal/scenario"
 )
 
 // RepartitionTable runs the closed profiling -> repartition -> serve loop
-// of Sec. IV-B against a live in-process deployment: serve under the
-// profiled plan, drift the traffic hotness until the per-shard utility
-// profile (Fig. 14) flattens, re-plan with the DP partitioner over the
-// live profiling window, swap the plan epoch with zero downtime, and
-// serve on. The table reports each phase's epoch, boundaries, served
-// query count, failures (always 0 — the swap never drops a request) and
-// utility skew.
+// of Sec. IV-B against a live in-process deployment, expressed as a
+// declarative scenario (internal/scenario) instead of a hand-rolled phase
+// loop: serve under the profiled plan, drift the traffic hotness until the
+// per-shard utility profile (Fig. 14) flattens, re-plan with the DP
+// partitioner over the live profiling window, swap the plan epoch with
+// zero downtime, then snap the hotness back and swap again. The table
+// reports each phase's epoch, shard count, served query count, failures
+// (always 0 — the swap never drops a request) and p99 latency.
 func RepartitionTable() (*Table, error) {
-	cfg := model.RM1().WithRows(20_000).WithName("rm1-repartition")
+	const name = "rm1-repartition"
+	cfg := model.RM1().WithRows(20_000).WithName(name)
 	cfg.NumTables = 2
-	m, err := model.New(cfg, 42)
-	if err != nil {
-		return nil, err
-	}
-	base, err := workload.NewPowerLawSampler(cfg.RowsPerTable, cfg.LocalityP, 0.9)
-	if err != nil {
-		return nil, err
-	}
-	drift, err := workload.NewDriftingSampler(base)
-	if err != nil {
-		return nil, err
-	}
-	gen, err := workload.NewQueryGenerator(drift, workload.NewShuffledMapping(cfg.RowsPerTable, 3),
-		cfg.BatchSize, cfg.Pooling, 7)
-	if err != nil {
-		return nil, err
-	}
-
-	// Profiling window 1: the pre-deployment window BuildElastic consumes.
-	perTable := make([][]*embedding.Batch, cfg.NumTables)
-	for t := range perTable {
-		for q := 0; q < 150; q++ {
-			perTable[t] = append(perTable[t], gen.Next())
-		}
-	}
-	stats, err := serving.CollectStats(cfg, perTable)
-	if err != nil {
-		return nil, err
-	}
 
 	// DP plan over the profiled CDF (per-container minimum scaled with
-	// the ~1000x table downscale, as in the quickstart).
+	// the ~1000x table downscale, as in the quickstart); plugged into the
+	// harness in place of its proportional-cuts default.
 	profile := perfmodel.CPUOnlyProfile()
 	profile.MinMemAlloc = 1 << 18
-	replan := func(window []*embedding.AccessStats) ([]int64, error) {
+	replanner := func(window []*embedding.AccessStats) ([]int64, error) {
 		planner := &deploy.Planner{Profile: profile, CDF: embedding.NewCDF(window[0])}
 		plan, _, err := planner.PartitionTable(cfg)
 		if err != nil {
@@ -65,107 +38,64 @@ func RepartitionTable() (*Table, error) {
 		}
 		return plan.Boundaries, nil
 	}
-	boundaries, err := replan(stats)
-	if err != nil {
-		return nil, err
-	}
-	ld, err := serving.BuildElastic(m, stats, boundaries, serving.BuildOptions{})
-	if err != nil {
-		return nil, err
-	}
-	defer ld.Close()
 
-	serve := func(n int) (int, error) {
-		failed := 0
-		for i := 0; i < n; i++ {
-			req := &serving.PredictRequest{
-				BatchSize: cfg.BatchSize,
-				DenseDim:  cfg.DenseInputDim,
-				Dense:     make([]float32, cfg.BatchSize*cfg.DenseInputDim),
-			}
-			for t := 0; t < cfg.NumTables; t++ {
-				b := gen.Next()
-				req.Tables = append(req.Tables, serving.TableBatch{Indices: b.Indices, Offsets: b.Offsets})
-			}
-			var reply serving.PredictReply
-			if err := ld.Predict(context.Background(), req, &reply); err != nil {
-				failed++
-			}
-		}
-		return failed, nil
+	sec := func(s float64) scenario.Duration {
+		return scenario.Duration(time.Duration(s * float64(time.Second)))
+	}
+	// Four equal phases; at each boundary the drift fires before the
+	// phase cut and the repartition after it, so each phase row's epoch
+	// snapshot reflects the plan that served it.
+	spec := &scenario.Spec{
+		Name:     "repartition",
+		Seed:     7,
+		Duration: sec(3.2),
+		Models: []scenario.ModelSpec{{
+			Name: name, Rows: cfg.RowsPerTable, Tables: cfg.NumTables,
+			Seed: 42, Transport: "local", WindowQueries: 150,
+		}},
+		Traffic: scenario.Traffic{Shape: "constant", BaseQPS: 250},
+		Timeline: []scenario.Event{
+			{At: 0, Action: scenario.ActionPhase, Label: "aligned"},
+			{At: sec(0.8), Action: scenario.ActionDrift, Model: name, Fraction: 0.5},
+			{At: sec(0.8), Action: scenario.ActionPhase, Label: "drifted"},
+			{At: sec(1.6), Action: scenario.ActionPhase, Label: "repartitioned"},
+			{At: sec(1.6), Action: scenario.ActionRepartition, Model: name},
+			{At: sec(2.4), Action: scenario.ActionDrift, Model: name, Fraction: -0.5},
+			{At: sec(2.4), Action: scenario.ActionPhase, Label: "reverted"},
+			{At: sec(2.4), Action: scenario.ActionRepartition, Model: name},
+		},
+	}
+	res, err := scenario.Run(spec, scenario.Options{Replanner: replanner})
+	if err != nil {
+		return nil, err
 	}
 
 	tab := &Table{
 		Title:  "Sec. IV-B: closed profiling -> repartition -> serve loop (live deployment)",
-		Header: []string{"phase", "epoch", "shards", "served", "failed", "utility skew"},
+		Header: []string{"phase", "epoch", "shards", "served", "failed", "p99"},
 	}
-	row := func(phase string, served, failed int) {
-		rt := ld.Table()
+	for _, ph := range res.Phases {
+		info := ph.Epochs[name]
 		tab.Rows = append(tab.Rows, []string{
-			phase,
-			fmt.Sprintf("%d", rt.Epoch),
-			fmt.Sprintf("%d", rt.NumShards(0)),
-			fmt.Sprintf("%d", served),
-			fmt.Sprintf("%d", failed),
-			fmt.Sprintf("%.2f", rt.UtilitySkew()),
+			ph.Name,
+			fmt.Sprintf("%d", info.Epoch),
+			fmt.Sprintf("%d", info.Shards),
+			fmt.Sprintf("%d", ph.Metrics.Requests),
+			fmt.Sprintf("%d", ph.Metrics.Errors),
+			ph.Metrics.P99.Round(10 * time.Microsecond).String(),
 		})
 	}
-
-	const queries = 400
-	// Phase 1: aligned hotness — the plan concentrates utility.
-	failed, err := serve(queries)
-	if err != nil {
-		return nil, err
+	for _, mr := range res.Models {
+		if mr.Model != name || !mr.Deployed {
+			continue
+		}
+		c := mr.Status.Counters
+		tab.Notes = append(tab.Notes,
+			fmt.Sprintf("plan swaps: %d; old epochs drained and closed while serving continued", mr.Status.Swaps),
+			fmt.Sprintf("lifetime build work: %d preprocesses (%d memoized), %d shards built, %d reused across %d epochs",
+				c.Preprocesses, c.PreCacheHits, c.ShardsBuilt, c.ShardsReused, mr.Status.Epoch+1),
+			fmt.Sprintf("final utility skew %.2f (max-min per-shard memory utility, Fig. 14); aligned plans concentrate it, drift flattens it",
+				mr.Status.UtilitySkew))
 	}
-	row("aligned", queries, failed)
-
-	// Phase 2: hotness drifts; profile the new distribution live.
-	drift.SetShift(int64(cfg.RowsPerTable / 2))
-	ld.StartProfile()
-	failed, err = serve(queries)
-	if err != nil {
-		return nil, err
-	}
-	row("drifted", queries, failed)
-
-	// Phase 3: re-plan from the live window and swap with zero downtime.
-	window := ld.SnapshotProfile()
-	newBoundaries, err := replan(window)
-	if err != nil {
-		return nil, err
-	}
-	driftRep, err := ld.RepartitionReport(context.Background(), window, newBoundaries)
-	if err != nil {
-		return nil, err
-	}
-	failed, err = serve(queries)
-	if err != nil {
-		return nil, err
-	}
-	row("repartitioned", queries, failed)
-
-	// Phase 4: hotness snaps back to the original distribution — the plan
-	// cache makes the return swap nearly free (memoized hotness sort, all
-	// shard services reused from epoch 0, nothing rebuilt or re-warmed).
-	drift.SetShift(0)
-	revertRep, err := ld.RepartitionReport(context.Background(), stats, boundaries)
-	if err != nil {
-		return nil, err
-	}
-	failed, err = serve(queries)
-	if err != nil {
-		return nil, err
-	}
-	row("reverted (cache hit)", queries, failed)
-
-	counters := ld.BuildCounters()
-	tab.Notes = append(tab.Notes,
-		fmt.Sprintf("plan swaps: %d; old epochs drained and closed while serving continued", ld.Router.Swaps.Value()),
-		fmt.Sprintf("epoch reuse: drift swap built %d shards (%d reused, cache hit %v, %d rows pre-warmed); revert swap built %d (%d reused, cache hit %v)",
-			driftRep.ShardsBuilt, driftRep.ShardsReused, driftRep.CacheHit, driftRep.WarmedRows,
-			revertRep.ShardsBuilt, revertRep.ShardsReused, revertRep.CacheHit),
-		fmt.Sprintf("lifetime build work: %d preprocesses (%d memoized), %d shards built, %d reused across %d epochs",
-			counters.Preprocesses, counters.PreCacheHits, counters.ShardsBuilt, counters.ShardsReused, ld.Epoch()+1),
-		"utility skew = max-min per-shard memory utility (Fig. 14); aligned plans concentrate it, drift flattens it")
 	return tab, nil
 }

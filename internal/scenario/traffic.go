@@ -1,0 +1,119 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/embedding"
+	"repro/internal/workload"
+)
+
+// This file lowers the declarative traffic and access-distribution blocks
+// onto internal/workload: shapes become piecewise-constant
+// workload.TrafficPattern schedules (driven by Poisson arrivals), and a
+// model's recorded access trace becomes an empirical Sampler so scenarios
+// can replay production-shaped hotness instead of the synthetic power law.
+
+// pattern lowers the traffic block to a workload schedule over the run.
+func (t *Traffic) pattern(total time.Duration) (*workload.TrafficPattern, error) {
+	var phases []workload.TrafficPhase
+	switch t.Shape {
+	case "constant":
+		phases = []workload.TrafficPhase{{Start: 0, TargetQPS: t.BaseQPS}}
+	case "diurnal":
+		// A sinusoid between base and peak, sampled into Steps
+		// piecewise-constant levels per period: load crests at half
+		// period — a day compressed into however long the run is.
+		steps := t.Steps
+		if steps == 0 {
+			steps = 16
+		}
+		period := t.Period.D()
+		step := period / time.Duration(steps)
+		if step <= 0 {
+			return nil, fmt.Errorf("scenario: diurnal period %v too short for %d steps", period, steps)
+		}
+		for at := time.Duration(0); at < total; at += step {
+			cycle := float64(at%period) / float64(period)
+			level := t.BaseQPS + (t.PeakQPS-t.BaseQPS)*(0.5-0.5*math.Cos(2*math.Pi*cycle))
+			phases = append(phases, workload.TrafficPhase{Start: at, TargetQPS: level})
+		}
+	case "flash-crowd":
+		phases = []workload.TrafficPhase{{Start: 0, TargetQPS: t.BaseQPS}}
+		if t.PeakStart > 0 {
+			phases = append(phases, workload.TrafficPhase{Start: t.PeakStart.D(), TargetQPS: t.PeakQPS})
+		} else {
+			phases[0].TargetQPS = t.PeakQPS
+		}
+		if end := t.PeakStart.D() + t.PeakDuration.D(); end < total {
+			phases = append(phases, workload.TrafficPhase{Start: end, TargetQPS: t.BaseQPS})
+		}
+	case "phases":
+		for _, p := range t.Phases {
+			phases = append(phases, workload.TrafficPhase{Start: p.Start.D(), TargetQPS: p.QPS})
+		}
+	default:
+		return nil, fmt.Errorf("scenario: unknown traffic shape %q", t.Shape)
+	}
+	return workload.NewTrafficPattern(phases, total)
+}
+
+// traceSampler draws physical row IDs with probability proportional to a
+// recorded trace's access counts — replaying an empirical distribution
+// where PowerLawSampler synthesizes one. Ranks are physical rows, so it
+// composes with the identity mapping (the trace already encodes the
+// production layout).
+type traceSampler struct {
+	cum  []int64 // cum[i] = accesses in rows [0, i]
+	rows int64
+}
+
+// newTraceSampler loads a workload CSV trace for a table of rows rows.
+func newTraceSampler(path string, rows int64) (*traceSampler, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	stats, err := workload.ReadTrace(f, rows)
+	if err != nil {
+		return nil, err
+	}
+	return newTraceSamplerFromStats(stats)
+}
+
+// newTraceSamplerFromStats builds the sampler from access statistics.
+func newTraceSamplerFromStats(stats *embedding.AccessStats) (*traceSampler, error) {
+	if stats.Total <= 0 {
+		return nil, fmt.Errorf("scenario: trace has no accesses to replay")
+	}
+	cum := make([]int64, len(stats.Counts))
+	var run int64
+	for i, c := range stats.Counts {
+		run += c
+		cum[i] = run
+	}
+	return &traceSampler{cum: cum, rows: int64(len(stats.Counts))}, nil
+}
+
+// Rows implements workload.Sampler.
+func (s *traceSampler) Rows() int64 { return s.rows }
+
+// SampleRank implements workload.Sampler via inverse-CDF binary search.
+func (s *traceSampler) SampleRank(r *workload.RNG) int64 {
+	x := r.Intn(s.cum[len(s.cum)-1]) // uniform in [0, total)
+	lo, hi := 0, len(s.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.cum[mid] > x {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return int64(lo)
+}
+
+var _ workload.Sampler = (*traceSampler)(nil)

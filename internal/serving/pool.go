@@ -15,10 +15,19 @@ import (
 // robin — the role Linkerd plays in the paper's deployment. Replicas can
 // be added and removed at runtime, which is how the live autoscaler scales
 // a shard's microservice in and out.
+//
+// The pool also carries the serving layer's fault-injection hooks, used by
+// the scenario harness (internal/scenario) to rehearse failures against a
+// live deployment: KillReplica marks one replica dead — calls round-robined
+// onto it fail like a crashed pod and the request-level failover retries
+// the survivors — and InjectDelay slows every gather through the pool by a
+// fixed latency, modeling a degraded node.
 type ReplicaPool struct {
 	mu       sync.RWMutex
 	replicas []GatherClient
+	dead     []bool // dead[i]: replica i is fault-injected down
 	next     atomic.Uint64
+	delay    atomic.Int64 // injected per-gather latency, nanoseconds
 }
 
 // NewReplicaPool creates a pool over the given replicas.
@@ -42,7 +51,21 @@ func (p *ReplicaPool) Gather(ctx context.Context, req *GatherRequest, reply *Gat
 	}
 	replicas := make([]GatherClient, n)
 	copy(replicas, p.replicas)
+	dead := make([]bool, n)
+	copy(dead, p.dead)
 	p.mu.RUnlock()
+
+	if delay := time.Duration(p.delay.Load()); delay > 0 {
+		// Injected shard slowness (scenario fault hook): one fixed stall
+		// per gather, bounded by the caller's deadline.
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+	}
 
 	start := p.next.Add(1)
 	var lastErr error
@@ -58,8 +81,14 @@ func (p *ReplicaPool) Gather(ctx context.Context, req *GatherRequest, reply *Gat
 		if attempt > 0 {
 			*reply = GatherReply{}
 		}
-		c := replicas[(start+uint64(attempt))%uint64(n)]
-		if err := c.Gather(ctx, req, reply); err != nil {
+		i := (start + uint64(attempt)) % uint64(n)
+		if dead[i] {
+			// A killed replica behaves like a crashed pod: the dispatch
+			// fails immediately and the loop fails over to the survivors.
+			lastErr = fmt.Errorf("serving: replica %d is down (fault injection)", i)
+			continue
+		}
+		if err := replicas[i].Gather(ctx, req, reply); err != nil {
 			lastErr = err
 			continue
 		}
@@ -72,6 +101,9 @@ func (p *ReplicaPool) Gather(ctx context.Context, req *GatherRequest, reply *Gat
 func (p *ReplicaPool) Add(c GatherClient) {
 	p.mu.Lock()
 	p.replicas = append(p.replicas, c)
+	if len(p.dead) > 0 {
+		p.dead = append(p.dead, false)
+	}
 	p.mu.Unlock()
 }
 
@@ -85,6 +117,9 @@ func (p *ReplicaPool) Remove() GatherClient {
 	}
 	c := p.replicas[len(p.replicas)-1]
 	p.replicas = p.replicas[:len(p.replicas)-1]
+	if len(p.dead) > len(p.replicas) {
+		p.dead = p.dead[:len(p.replicas)]
+	}
 	return c
 }
 
@@ -93,6 +128,60 @@ func (p *ReplicaPool) Size() int {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	return len(p.replicas)
+}
+
+// Live returns the count of replicas not marked dead by fault injection.
+func (p *ReplicaPool) Live() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	live := len(p.replicas)
+	for _, d := range p.dead {
+		if d {
+			live--
+		}
+	}
+	return live
+}
+
+// KillReplica is the scenario fault hook for a crashed pod: replica i
+// stays in the rotation but every call routed to it fails immediately, so
+// the pool's request-level failover carries its share of traffic to the
+// survivors. It reports whether i addressed a replica.
+func (p *ReplicaPool) KillReplica(i int) bool {
+	return p.setDead(i, true)
+}
+
+// ReviveReplica clears a KillReplica injection.
+func (p *ReplicaPool) ReviveReplica(i int) bool {
+	return p.setDead(i, false)
+}
+
+func (p *ReplicaPool) setDead(i int, dead bool) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if i < 0 || i >= len(p.replicas) {
+		return false
+	}
+	if len(p.dead) < len(p.replicas) {
+		p.dead = append(p.dead, make([]bool, len(p.replicas)-len(p.dead))...)
+	}
+	p.dead[i] = dead
+	return true
+}
+
+// InjectDelay is the scenario fault hook for a degraded node: every
+// subsequent gather through the pool stalls d before dispatch (0 removes
+// the injection). The stall honors the caller's context deadline.
+func (p *ReplicaPool) InjectDelay(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.delay.Store(int64(d))
+}
+
+// InjectedDelay returns the current injected per-gather latency.
+func (p *ReplicaPool) InjectedDelay() time.Duration {
+	return time.Duration(p.delay.Load())
 }
 
 var _ GatherClient = (*ReplicaPool)(nil)
