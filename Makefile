@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short race race-repartition lifecycle-smoke bench bench-smoke bench-json bench-guard scenario-smoke scenario-guard fmt fmt-check vet lint-doc ci
+.PHONY: build test test-short race race-repartition lifecycle-smoke bench bench-smoke bench-json bench-guard fuzz-smoke scenario-smoke scenario-guard fmt fmt-check vet lint-doc ci
 
 build:
 	$(GO) build ./...
@@ -49,23 +49,31 @@ bench-smoke:
 # in as the bench-guard baseline — commit the refresh when a change
 # legitimately moves it.
 bench-json:
-	$(GO) test -run='^$$' -bench='Serving' -benchmem -benchtime=20x . > bench-serving.txt
+	$(GO) test -run='^$$' -bench='Serving|Wire' -benchmem -benchtime=20x . > bench-serving.txt
 	$(GO) run ./cmd/benchjson < bench-serving.txt > BENCH_serving.json
 	@echo "wrote BENCH_serving.json"
 
 # Bench-regression smoke: re-measure the deterministic serving benches
 # briefly and fail if allocs/op regressed >25% against the checked-in
 # BENCH_serving.json baseline. Only the single-driver rows are guarded
-# (EndToEndPredict and the Repartition regimes): the concurrent rows'
+# (EndToEndPredict, the Repartition regimes, and the Wire_Codec
+# encode/decode rows — all deterministic allocators): the concurrent rows'
 # allocs/op depends on the batch-fusing ratio, which varies with core
 # count and timing — those stay trajectory-only in BENCH_serving.json.
 # benchtime matches bench-json's 20x so first-op pool-miss allocations
 # amortize identically on both sides. Refresh the baseline with
 # `make bench-json` when a change legitimately moves it.
 bench-guard:
-	$(GO) test -run='^$$' -bench='Serving_(EndToEndPredict|Repartition)' -benchmem -benchtime=20x . > bench-guard.txt
+	$(GO) test -run='^$$' -bench='Serving_(EndToEndPredict|Repartition)|Wire_Codec' -benchmem -benchtime=20x . > bench-guard.txt
 	$(GO) run ./cmd/benchjson < bench-guard.txt > bench-guard.json
-	$(GO) run ./cmd/benchguard -baseline BENCH_serving.json -current bench-guard.json -filter Serving_EndToEndPredict,Serving_Repartition -max-regress 0.25
+	$(GO) run ./cmd/benchguard -baseline BENCH_serving.json -current bench-guard.json -filter Serving_EndToEndPredict,Serving_Repartition,Wire_Codec -max-regress 0.25
+
+# Fuzz smoke: run the wire-codec fuzz target briefly — malformed frames
+# must error, never panic or over-allocate, and every frame that decodes
+# must re-encode canonically. CI runs this in the checks job; run longer
+# locally with e.g. -fuzztime=5m when touching the codec.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzWireCodec -fuzztime=10s ./internal/serving/wire/
 
 # Scenario smoke: run every checked-in declarative scenario
 # (examples/scenarios/*.json) in short mode against a live deployment,
@@ -100,4 +108,4 @@ vet:
 lint-doc:
 	$(GO) run ./cmd/doccheck ./internal ./cmd ./examples
 
-ci: fmt-check vet lint-doc build test-short race race-repartition lifecycle-smoke bench-smoke
+ci: fmt-check vet lint-doc build test-short race race-repartition lifecycle-smoke bench-smoke fuzz-smoke

@@ -13,7 +13,9 @@
 package repro_test
 
 import (
+	"bytes"
 	"context"
+	"encoding/gob"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -28,6 +30,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/perfmodel"
 	"repro/internal/serving"
+	"repro/internal/serving/wire"
 	"repro/internal/tensor"
 	"repro/internal/workload"
 )
@@ -588,6 +591,228 @@ func BenchmarkServing_ConcurrentPredict(b *testing.B) {
 			runClosedLoopPredict(b, sub.client, sub.reqs, sub.clients)
 		})
 	}
+}
+
+// concurrentPredictTCPFixture builds a wire-bound deployment behind
+// loopback TCP with the given gather codec, exports the predict frontend
+// over the same codec, and returns a dialed network client. The geometry
+// isolates the transport: RM1's batch/pooling (32x128 indices per table,
+// 64-wide embeddings) keeps the payloads realistic while tiny MLPs keep
+// dense compute off the critical path, and the deployment is unbatched so
+// each predict fans out 12 gather RPCs (4 tables x 3 shards).
+func concurrentPredictTCPFixture(b *testing.B, codec serving.WireCodec) (serving.PredictClient, []*serving.PredictRequest, func()) {
+	b.Helper()
+	cfg := model.Config{
+		Name:          "wire-bench",
+		DenseInputDim: 13,
+		BottomMLP:     []int{16, 64},
+		TopMLP:        []int{16, 1},
+		NumTables:     4,
+		RowsPerTable:  50_000,
+		EmbeddingDim:  64,
+		Pooling:       128,
+		LocalityP:     0.90,
+		BatchSize:     32,
+	}
+	m, err := model.New(cfg, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := workload.NewPowerLawSampler(cfg.RowsPerTable, cfg.LocalityP, 0.9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := workload.NewQueryGenerator(s, nil, cfg.BatchSize, cfg.Pooling, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	perTable := make([][]*embedding.Batch, cfg.NumTables)
+	for t := range perTable {
+		for q := 0; q < 20; q++ {
+			perTable[t] = append(perTable[t], gen.Next())
+		}
+	}
+	stats, err := serving.CollectStats(cfg, perTable)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ld, err := serving.BuildElastic(m, stats, []int64{5_000, 20_000, cfg.RowsPerTable},
+		serving.BuildOptions{Transport: serving.TransportTCP, WireCodec: codec})
+	if err != nil {
+		b.Fatal(err)
+	}
+	addr, err := ld.ExportPredict("WireBench")
+	if err != nil {
+		ld.Close()
+		b.Fatal(err)
+	}
+	var client serving.PredictClient
+	var closeClient func() error
+	if codec == serving.WireGob {
+		c, err := serving.DialPredictGob(addr, "WireBench")
+		if err != nil {
+			ld.Close()
+			b.Fatal(err)
+		}
+		client, closeClient = c, c.Close
+	} else {
+		c, err := serving.DialPredict(addr, "WireBench")
+		if err != nil {
+			ld.Close()
+			b.Fatal(err)
+		}
+		client, closeClient = c, c.Close
+	}
+	rng := workload.NewRNG(77)
+	reqs := make([]*serving.PredictRequest, 32)
+	for i := range reqs {
+		req := &serving.PredictRequest{
+			BatchSize: cfg.BatchSize,
+			DenseDim:  cfg.DenseInputDim,
+			Dense:     make([]float32, cfg.BatchSize*cfg.DenseInputDim),
+		}
+		for j := range req.Dense {
+			req.Dense[j] = float32(rng.Float64()*2 - 1)
+		}
+		for t := 0; t < cfg.NumTables; t++ {
+			batch := gen.Next()
+			req.Tables = append(req.Tables, serving.TableBatch{Indices: batch.Indices, Offsets: batch.Offsets})
+		}
+		reqs[i] = req
+	}
+	return client, reqs, func() {
+		_ = closeClient()
+		ld.Close()
+	}
+}
+
+// BenchmarkServing_ConcurrentPredictWire is the transport shoot-out: the
+// identical deployment and workload served over loopback TCP with gob vs
+// binary framed shard+frontend wiring, 8 closed-loop clients each.
+// Compare the qps metric between the two rows — the binary codec's
+// no-reflection encode/decode and pipelined connections are the entire
+// difference.
+func BenchmarkServing_ConcurrentPredictWire(b *testing.B) {
+	for _, codec := range []serving.WireCodec{serving.WireGob, serving.WireBinary} {
+		client, reqs, cleanup := concurrentPredictTCPFixture(b, codec)
+		b.Run("tcp/wire="+string(codec)+"/clients=8", func(b *testing.B) {
+			runClosedLoopPredict(b, client, reqs, 8)
+		})
+		cleanup()
+	}
+}
+
+// wireBenchMessages builds representative shard-gather and frontend
+// predict messages for codec microbenchmarks: a 32x64 float32 gather
+// reply and an RM1-shaped predict request.
+func wireBenchMessages() (*wire.GatherReply, *wire.PredictRequest) {
+	rng := workload.NewRNG(5)
+	rep := &wire.GatherReply{BatchSize: 32, Dim: 64, Pooled: make([]float32, 32*64)}
+	for i := range rep.Pooled {
+		rep.Pooled[i] = float32(rng.Float64()*2 - 1)
+	}
+	req := &wire.PredictRequest{
+		Model: "rm1", BatchSize: 32, DenseDim: 13,
+		Dense: make([]float32, 32*13), Deadline: 1,
+	}
+	for i := range req.Dense {
+		req.Dense[i] = float32(rng.Float64()*2 - 1)
+	}
+	for t := 0; t < 4; t++ {
+		tb := wire.TableBatch{Indices: make([]int64, 32*20), Offsets: make([]int32, 32)}
+		for i := range tb.Indices {
+			tb.Indices[i] = rng.Intn(1 << 24)
+		}
+		for i := range tb.Offsets {
+			tb.Offsets[i] = int32(i * 20)
+		}
+		req.Tables = append(req.Tables, tb)
+	}
+	return rep, req
+}
+
+// BenchmarkWire_Codec compares one encode+decode round trip per op under
+// the two codecs, message by message. The gob rows use a persistent
+// encoder/decoder pair over one buffer — exactly net/rpc's steady state,
+// so gob's one-time type descriptors are excluded. wire-bytes/op is the
+// encoded frame size.
+func BenchmarkWire_Codec(b *testing.B) {
+	rep, req := wireBenchMessages()
+	b.Run("gather-reply/gob", func(b *testing.B) {
+		var buf bytes.Buffer
+		enc := gob.NewEncoder(&buf)
+		dec := gob.NewDecoder(&buf)
+		var n int
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := enc.Encode(rep); err != nil {
+				b.Fatal(err)
+			}
+			n = buf.Len()
+			var got wire.GatherReply
+			if err := dec.Decode(&got); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(n), "wire-bytes/op")
+	})
+	b.Run("gather-reply/binary", func(b *testing.B) {
+		var buf []byte
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = wire.AppendGatherReply(buf[:0], rep, false)
+			var got wire.GatherReply
+			if err := wire.DecodeGatherReply(buf, &got); err != nil {
+				b.Fatal(err)
+			}
+			wire.FreeGatherReply(&got)
+		}
+		b.ReportMetric(float64(len(buf)), "wire-bytes/op")
+	})
+	b.Run("gather-reply/binary-quant", func(b *testing.B) {
+		var buf []byte
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = wire.AppendGatherReply(buf[:0], rep, true)
+			var got wire.GatherReply
+			if err := wire.DecodeGatherReply(buf, &got); err != nil {
+				b.Fatal(err)
+			}
+			wire.FreeGatherReply(&got)
+		}
+		b.ReportMetric(float64(len(buf)), "wire-bytes/op")
+	})
+	b.Run("predict-request/gob", func(b *testing.B) {
+		var buf bytes.Buffer
+		enc := gob.NewEncoder(&buf)
+		dec := gob.NewDecoder(&buf)
+		var n int
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := enc.Encode(req); err != nil {
+				b.Fatal(err)
+			}
+			n = buf.Len()
+			var got wire.PredictRequest
+			if err := dec.Decode(&got); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(n), "wire-bytes/op")
+	})
+	b.Run("predict-request/binary", func(b *testing.B) {
+		var buf []byte
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = wire.AppendPredictRequest(buf[:0], req)
+			var got wire.PredictRequest
+			if err := wire.DecodePredictRequest(buf, &got); err != nil {
+				b.Fatal(err)
+			}
+			wire.FreePredictRequest(&got)
+		}
+		b.ReportMetric(float64(len(buf)), "wire-bytes/op")
+	})
 }
 
 // multiModelBenchFixture builds a two-variant multi-model deployment plus

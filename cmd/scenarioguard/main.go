@@ -2,11 +2,17 @@
 // artifacts (BENCH_scenario_*.json, see internal/scenario) against their
 // checked-in baselines and fails on latency or error-rate regressions, the
 // run-over-run gate the CI scenario-matrix job enforces. Latency is judged
-// as a ratio against the baseline row (p50 and p99 separately) with a
+// as a ratio against the baseline row (p50, p95 and p99 separately) with a
 // deliberately generous default threshold — CI runners vary — while
 // error-rate is judged as an absolute increase, which is
 // hardware-independent: a scenario whose fault injection starts leaking
 // failed requests trips the guard no matter how fast the machine is.
+//
+// Every scenario phase present in both artifacts additionally gets its own
+// guard row on stdout ("phase=<name>: p95 ...x of baseline, error-rate
+// ... -> ..."), so a regression confined to one phase — say, the
+// fault-injection window of an otherwise healthy run — is visible in the
+// CI log by phase name, not just as a whole-scenario aggregate.
 //
 // Usage:
 //
@@ -60,6 +66,7 @@ func compareRows(artifact string, baseline, current []benchio.Row, th thresholds
 			base, actual float64
 		}{
 			{"p50_ms", b.P50Ms, cur.P50Ms},
+			{"p95_ms", b.P95Ms, cur.P95Ms},
 			{"p99_ms", b.P99Ms, cur.P99Ms},
 		} {
 			if m.base <= 0 {
@@ -78,6 +85,58 @@ func compareRows(artifact string, baseline, current []benchio.Row, th thresholds
 		}
 	}
 	return compared, regs
+}
+
+// phaseReport is one per-phase guard row: a scenario phase's p95 and
+// error-rate judged against its baseline phase row.
+type phaseReport struct {
+	artifact, phase    string
+	p95Ratio           float64 // current p95 as a multiple of baseline (0 = no baseline signal)
+	errBase, errActual float64
+	ok                 bool
+}
+
+func (p phaseReport) String() string {
+	verdict := "ok"
+	if !p.ok {
+		verdict = "REGRESSED"
+	}
+	p95 := "p95 n/a"
+	if p.p95Ratio > 0 {
+		p95 = fmt.Sprintf("p95 %.2fx of baseline", p.p95Ratio)
+	}
+	return fmt.Sprintf("%s phase=%s: %s, error-rate %.3f -> %.3f [%s]",
+		p.artifact, p.phase, p95, p.errBase, p.errActual, verdict)
+}
+
+// phaseReports builds the per-phase guard rows for one artifact: every
+// "/phase=" row present in both current and baseline gets an explicit
+// verdict against the same thresholds compareRows gates on.
+func phaseReports(artifact string, baseline, current []benchio.Row, th thresholds) []phaseReport {
+	base := benchio.ByName(baseline)
+	var out []phaseReport
+	for _, cur := range current {
+		_, phase, ok := strings.Cut(cur.Name, "/phase=")
+		if !ok {
+			continue
+		}
+		b, ok := base[cur.Name]
+		if !ok {
+			continue
+		}
+		p := phaseReport{artifact: artifact, phase: phase, errBase: b.ErrorRate, errActual: cur.ErrorRate, ok: true}
+		if b.P95Ms > 0 {
+			p.p95Ratio = cur.P95Ms / b.P95Ms
+			if p.p95Ratio > th.latencyRatio {
+				p.ok = false
+			}
+		}
+		if cur.ErrorRate > b.ErrorRate+th.errorIncrease {
+			p.ok = false
+		}
+		out = append(out, p)
+	}
+	return out
 }
 
 // scenarioArtifacts lists the BENCH_scenario_*.json files in dir by base
@@ -138,6 +197,9 @@ func run(baselineDir, currentDir, filter string, th thresholds) int {
 		c, r := compareRows(artifact, base, cur, th)
 		compared += c
 		regs = append(regs, r...)
+		for _, p := range phaseReports(artifact, base, cur, th) {
+			fmt.Printf("scenarioguard: %s\n", p)
+		}
 	}
 	if compared == 0 {
 		fmt.Fprintln(os.Stderr, "scenarioguard: artifacts overlap but no comparable metrics (empty baselines?)")

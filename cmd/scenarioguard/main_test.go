@@ -54,6 +54,37 @@ func TestCompareRowsSkipsNewRowsAndZeroBaselines(t *testing.T) {
 	}
 }
 
+// TestPhaseReportsJudgePerPhase checks the per-phase guard rows: each
+// "/phase=" row shared with the baseline gets its own verdict, a phase
+// whose p95 or error-rate blew past the thresholds is marked regressed,
+// and phases new in the current run are skipped.
+func TestPhaseReportsJudgePerPhase(t *testing.T) {
+	base := []benchio.Row{
+		{Name: "Scenario_s", P95Ms: 6},
+		{Name: "Scenario_s/phase=warm", P95Ms: 4, ErrorRate: 0},
+		{Name: "Scenario_s/phase=faults", P95Ms: 8, ErrorRate: 0},
+	}
+	cur := []benchio.Row{
+		{Name: "Scenario_s", P95Ms: 6},
+		{Name: "Scenario_s/phase=warm", P95Ms: 5, ErrorRate: 0},
+		{Name: "Scenario_s/phase=faults", P95Ms: 8, ErrorRate: 0.2}, // leaking failures
+		{Name: "Scenario_s/phase=new", P95Ms: 1000},                 // no baseline
+	}
+	reports := phaseReports("s", base, cur, thresholds{latencyRatio: 4, errorIncrease: 0.01})
+	if len(reports) != 2 {
+		t.Fatalf("reports = %v, want the two shared phases", reports)
+	}
+	if reports[0].phase != "warm" || !reports[0].ok {
+		t.Fatalf("warm phase = %+v, want ok", reports[0])
+	}
+	if reports[1].phase != "faults" || reports[1].ok {
+		t.Fatalf("faults phase = %+v, want regressed on error-rate", reports[1])
+	}
+	if r := reports[0].p95Ratio; r < 1.24 || r > 1.26 {
+		t.Fatalf("warm p95 ratio = %v, want 1.25", r)
+	}
+}
+
 // TestRunFailsOnDegradedArtifact is the end-to-end acceptance check: an
 // artificially degraded run against a healthy checked-in baseline must
 // exit non-zero.

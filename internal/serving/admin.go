@@ -186,10 +186,13 @@ type AdminClient struct {
 
 // DialAdmin connects to the admin service exported alongside the predict
 // frontend registered under frontend at addr (see AdminServiceName).
+// Admin traffic rides the gob codec — the sniffing listener serves it
+// beside binary predict connections — and the dial is bounded by
+// DialTimeout like every other transport dial.
 func DialAdmin(addr, frontend string) (*AdminClient, error) {
-	c, err := rpc.Dial("tcp", addr)
+	c, err := dialGob(addr)
 	if err != nil {
-		return nil, fmt.Errorf("serving: rpc dial %s: %w", addr, err)
+		return nil, err
 	}
 	return &AdminClient{client: c, name: AdminServiceName(frontend)}, nil
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/embedding"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/serving/wire"
 	"repro/internal/tensor"
 )
 
@@ -272,14 +273,17 @@ func (d *DenseShard) Predict(ctx context.Context, req *PredictRequest, reply *Pr
 	if firstErr != nil {
 		// Recycle whatever reply buffers did land before the failure.
 		for i := range calls {
-			putPooledBuf(calls[i].reply.Pooled)
+			wire.PutFloat32(calls[i].reply.Pooled)
 			calls[i].reply.Pooled = nil
 		}
 		return firstErr
 	}
 
 	// Merge per-table partial sums (pooling is additive) into one scratch
-	// backing, returning every reply buffer to the shared pool.
+	// backing, returning every reply buffer to the shared wire pool. On
+	// the binary transport the reply rows were decoded into that pool —
+	// float32 either way, even when the wire encoding was int8-quantized —
+	// so local and remote gathers recycle identically.
 	dim := d.cfg.EmbeddingDim
 	if cap(sc.pooled) < nt*bs*dim {
 		sc.pooled = make([]float32, nt*bs*dim)
@@ -294,7 +298,7 @@ func (d *DenseShard) Predict(ctx context.Context, req *PredictRequest, reply *Pr
 		for j, v := range c.reply.Pooled {
 			dst[j] += v
 		}
-		putPooledBuf(c.reply.Pooled)
+		wire.PutFloat32(c.reply.Pooled)
 		c.reply.Pooled = nil
 	}
 

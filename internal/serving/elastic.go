@@ -3,6 +3,7 @@ package serving
 import (
 	"context"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -25,9 +26,35 @@ const (
 	TransportTCP Transport = "tcp"
 )
 
+// WireCodec selects the serialization a TCP deployment's shard gathers
+// ride on.
+type WireCodec string
+
+// Supported wire codecs.
+const (
+	// WireBinary is the length-prefixed binary codec
+	// (internal/serving/wire): no reflection, pooled buffers, pipelined
+	// sticky connections. The default.
+	WireBinary WireCodec = "binary"
+	// WireGob is the legacy net/rpc gob codec, kept for mixed-fleet
+	// interop and as the benchmark baseline.
+	WireGob WireCodec = "gob"
+)
+
 // BuildOptions configures BuildElastic.
 type BuildOptions struct {
 	Transport Transport
+	// WireCodec selects the TCP gather codec (empty = WireBinary).
+	// Ignored on the local transport.
+	WireCodec WireCodec
+	// WireQuant enables the int8-quantized gather-reply wire encoding on
+	// the binary codec: each row rides as one float32 scale plus Dim
+	// int8s and is dequantized to float32 before the dense-side
+	// accumulate. Off by default so sharded serving stays bit-exact
+	// against the monolith; turning it on trades ≤ 1/254 of each row's
+	// max magnitude in error for ~4x smaller gather replies (dim 32).
+	// Ignored on the local transport and the gob codec.
+	WireQuant bool
 	// Replicas[s] is the initial replica count of shard s in every
 	// table's pool (nil = one replica each). Replicas share the sorted
 	// table storage in-process; they model independent serving replicas.
@@ -299,7 +326,7 @@ func (ld *LiveDeployment) buildShardUnit(epoch int64, t, s int, pre *Preprocesse
 		replicas = ld.opts.Replicas[s]
 	}
 	for r := 0; r < replicas; r++ {
-		client, err := exportGather(u, svc, fmt.Sprintf("E%dT%dS%dR%d", epoch, t, s, r), ld.opts.Transport)
+		client, err := exportGather(u, svc, fmt.Sprintf("E%dT%dS%dR%d", epoch, t, s, r), ld.opts)
 		if err != nil {
 			u.teardown()
 			return nil, err
@@ -345,30 +372,52 @@ func (ld *LiveDeployment) warmFresh(pre *Preprocessed, fresh []*shardUnit) int64
 	return warmed
 }
 
-// exportGather wraps a shard service in the chosen transport, recording
-// any servers/connections on the owning shard unit.
-func exportGather(u *shardUnit, svc GatherClient, name string, tr Transport) (GatherClient, error) {
-	switch tr {
+// exportGather wraps a shard service in the chosen transport and wire
+// codec, recording any servers/connections on the owning shard unit.
+func exportGather(u *shardUnit, svc GatherClient, name string, opts BuildOptions) (GatherClient, error) {
+	switch opts.Transport {
 	case TransportLocal:
 		return svc, nil
 	case TransportTCP:
+		codec := opts.WireCodec
+		if codec == "" {
+			codec = WireBinary
+		}
+		if codec != WireBinary && codec != WireGob {
+			return nil, fmt.Errorf("serving: unknown wire codec %q", codec)
+		}
 		srv, err := NewRPCServer("127.0.0.1:0")
 		if err != nil {
 			return nil, err
 		}
-		if err := srv.RegisterGather(name, svc); err != nil {
+		register := srv.RegisterGather
+		if opts.WireQuant {
+			register = srv.RegisterQuantGather
+		}
+		if err := register(name, svc); err != nil {
 			srv.Close()
 			return nil, err
 		}
 		u.servers = append(u.servers, srv)
-		client, err := DialGather(srv.Addr(), name)
-		if err != nil {
-			return nil, err
+		var client GatherClient
+		var closer io.Closer
+		if codec == WireGob {
+			c, err := DialGatherGob(srv.Addr(), name)
+			if err != nil {
+				return nil, err
+			}
+			client, closer = c, c
+		} else {
+			c, err := DialGather(srv.Addr(), name)
+			if err != nil {
+				return nil, err
+			}
+			client, closer = c, c
 		}
-		u.closers = append(u.closers, client)
+		u.closers = append(u.closers, closer)
 		return client, nil
 	default:
-		return nil, fmt.Errorf("serving: unknown transport %q", tr)
+		return nil, fmt.Errorf("serving: unknown transport %q", opts.Transport)
 	}
 }
 

@@ -4,12 +4,12 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/embedding"
 	"repro/internal/metrics"
+	"repro/internal/serving/wire"
 	"repro/internal/tensor"
 )
 
@@ -105,9 +105,9 @@ func (s *EmbeddingShard) Gather(ctx context.Context, req *GatherRequest, reply *
 	// The pooled output draws from the shared buffer pool; the dense
 	// shard recycles it after merging (GatherPool zeroes each row before
 	// accumulating, so recycled contents never leak through).
-	out := tensor.Matrix{Rows: bs, Cols: s.table.Dim, Data: getPooledBuf(bs * s.table.Dim)}
+	out := tensor.Matrix{Rows: bs, Cols: s.table.Dim, Data: wire.GetFloat32(bs * s.table.Dim)}
 	if err := s.table.GatherPoolBatch(&out, &b); err != nil {
-		putPooledBuf(out.Data)
+		wire.PutFloat32(out.Data)
 		return fmt.Errorf("serving: shard t%d s%d: %w", s.TableIndex, s.ShardIndex, err)
 	}
 	s.Utility.TouchAll(req.Indices)
@@ -121,31 +121,10 @@ func (s *EmbeddingShard) Gather(ctx context.Context, req *GatherRequest, reply *
 
 var _ GatherClient = (*EmbeddingShard)(nil)
 
-// pooledBufPool recycles gather-reply buffers between the shard services
-// and the dense merge loop. On the in-process transport the same backing
-// array cycles shard → dense → pool → shard; on TCP the server-side copy
-// is consumed by the codec, but the client-side decoded buffer still
-// returns here after the merge.
-var pooledBufPool sync.Pool
-
-// getPooledBuf returns a float32 buffer of length n, reusing pooled
-// backing storage when it is large enough. Contents are unspecified —
-// every writer must overwrite its slice before reading.
-func getPooledBuf(n int) []float32 {
-	if v := pooledBufPool.Get(); v != nil {
-		if buf := *(v.(*[]float32)); cap(buf) >= n {
-			return buf[:n]
-		}
-	}
-	return make([]float32, n)
-}
-
-// putPooledBuf recycles a buffer obtained from getPooledBuf (or any buffer
-// the caller is done with). Safe to call with nil.
-func putPooledBuf(buf []float32) {
-	if cap(buf) == 0 {
-		return
-	}
-	buf = buf[:cap(buf)]
-	pooledBufPool.Put(&buf)
-}
+// Gather-reply buffers recycle through the wire package's shared float32
+// pool: on the in-process transport the same backing array cycles
+// shard → dense merge → pool → shard; on TCP the server-side copy is
+// consumed by the binary codec (and recycled there after the write),
+// while the client-side decoded buffer returns to the same pool after the
+// merge. One pool for all of it keeps the working set tight across
+// transports.

@@ -262,11 +262,15 @@ func (md *MultiDeployment) unpublishModel(name string) (*LiveDeployment, error) 
 }
 
 // ExportPredict exposes the multi-model dispatching frontend as one
-// net/rpc service under name on loopback TCP: a single wire endpoint
-// serves every variant, routed by PredictRequest.Model. The same server
-// also exposes the lifecycle control plane as the versioned admin service
-// AdminServiceName(name) (Admin.Deploy / Admin.Undeploy / Admin.Status via
-// DialAdmin). The server is torn down by Close.
+// network service under name on loopback TCP: a single wire endpoint
+// serves every variant, routed by PredictRequest.Model, reachable over
+// both the binary framed codec (DialPredict) and legacy gob
+// (DialPredictGob). The same listener also carries the lifecycle control
+// plane as the versioned admin service AdminServiceName(name)
+// (Admin.Deploy / Admin.Undeploy / Admin.Status via DialAdmin): admin
+// connections open with gob, so the codec-sniffing accept loop passes
+// them through to net/rpc while predict traffic rides binary frames. The
+// server is torn down by Close.
 func (md *MultiDeployment) ExportPredict(name string) (string, error) {
 	srv, err := NewRPCServer("127.0.0.1:0")
 	if err != nil {

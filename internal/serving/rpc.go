@@ -3,22 +3,43 @@ package serving
 import (
 	"context"
 	"fmt"
+	"io"
+	"log"
 	"net"
 	"net/rpc"
 	"sync"
+	"time"
+
+	"repro/internal/serving/wire"
 )
 
-// This file provides the loopback-TCP transport: every shard can be
-// exported as a net/rpc service (the stand-in for the paper's C++ gRPC
+// This file provides the loopback-TCP transport. Every shard can be
+// exported as a network service (the stand-in for the paper's C++ gRPC
 // layer) and consumed through a GatherClient/PredictClient that dials it.
+// One listener speaks two codecs: the binary framed protocol
+// (internal/serving/wire — the hot path: no reflection, pooled buffers,
+// pipelined sticky connections) and net/rpc gob (the legacy codec, still
+// carrying the admin control plane and any pre-wire clients). The codec
+// is negotiated at accept time by sniffing the first four bytes of the
+// connection: the wire magic routes to the framed server, anything else
+// replays into gob.
 
-// RPCServer hosts one or more shard services on a TCP listener.
+// DialTimeout bounds every transport dial (TCP connect plus, for the
+// binary codec, the handshake), so a hung shard address fails pool
+// construction promptly instead of blocking it forever.
+const DialTimeout = 5 * time.Second
+
+// RPCServer hosts one or more shard services on a TCP listener, serving
+// each accepted connection in whichever codec the client opens with.
 type RPCServer struct {
 	listener net.Listener
 	server   *rpc.Server
 	mu       sync.Mutex
 	conns    map[net.Conn]struct{}
 	done     chan struct{}
+
+	epMu      sync.RWMutex
+	endpoints map[string]wire.Endpoint
 }
 
 // NewRPCServer starts a server on addr ("127.0.0.1:0" picks a free port).
@@ -28,10 +49,11 @@ func NewRPCServer(addr string) (*RPCServer, error) {
 		return nil, fmt.Errorf("serving: rpc listen: %w", err)
 	}
 	s := &RPCServer{
-		listener: ln,
-		server:   rpc.NewServer(),
-		conns:    make(map[net.Conn]struct{}),
-		done:     make(chan struct{}),
+		listener:  ln,
+		server:    rpc.NewServer(),
+		conns:     make(map[net.Conn]struct{}),
+		done:      make(chan struct{}),
+		endpoints: make(map[string]wire.Endpoint),
 	}
 	go s.acceptLoop()
 	return s, nil
@@ -40,44 +62,130 @@ func NewRPCServer(addr string) (*RPCServer, error) {
 // Addr returns the listener's address for clients to dial.
 func (s *RPCServer) Addr() string { return s.listener.Addr().String() }
 
-// RegisterGather exposes a gather service under name.
+// RegisterGather exposes a gather service under name on both codecs.
 func (s *RPCServer) RegisterGather(name string, svc GatherClient) error {
-	return s.server.RegisterName(name, &gatherRPC{svc: svc})
+	return s.registerGather(name, svc, false)
 }
 
-// RegisterPredict exposes a predict service under name.
+// RegisterQuantGather is RegisterGather with the int8-quantized
+// gather-reply encoding on the binary codec (gob replies are unaffected;
+// quantization is a per-service wire encoding, not a service change).
+func (s *RPCServer) RegisterQuantGather(name string, svc GatherClient) error {
+	return s.registerGather(name, svc, true)
+}
+
+func (s *RPCServer) registerGather(name string, svc GatherClient, quant bool) error {
+	if err := s.server.RegisterName(name, &gatherRPC{svc: svc}); err != nil {
+		return err
+	}
+	s.epMu.Lock()
+	s.endpoints[name] = wire.Endpoint{Gather: svc, Quant: quant}
+	s.epMu.Unlock()
+	return nil
+}
+
+// RegisterPredict exposes a predict service under name on both codecs.
 func (s *RPCServer) RegisterPredict(name string, svc PredictClient) error {
-	return s.server.RegisterName(name, &predictRPC{svc: svc})
+	if err := s.server.RegisterName(name, &predictRPC{svc: svc}); err != nil {
+		return err
+	}
+	s.epMu.Lock()
+	s.endpoints[name] = wire.Endpoint{Predict: svc}
+	s.epMu.Unlock()
+	return nil
 }
 
 // RegisterAdmin exposes a deployment's lifecycle control plane under name
 // (conventionally AdminServiceName(frontend), so the admin endpoint rides
-// the same listener as the predict traffic it administers).
+// the same listener as the predict traffic it administers). Admin traffic
+// stays on the gob codec: it is low-rate control-plane work, and the
+// sniffing accept loop gives it passthrough alongside binary predict
+// connections for free.
 func (s *RPCServer) RegisterAdmin(name string, ctrl *Controller) error {
 	return s.server.RegisterName(name, &adminRPC{ctrl: ctrl})
+}
+
+// resolve maps a binary preamble to a registered endpoint.
+func (s *RPCServer) resolve(kind byte, name string) (wire.Endpoint, error) {
+	s.epMu.RLock()
+	ep, ok := s.endpoints[name]
+	s.epMu.RUnlock()
+	if !ok {
+		return wire.Endpoint{}, fmt.Errorf("serving: no service %q", name)
+	}
+	switch kind {
+	case wire.KindGather:
+		if ep.Gather == nil {
+			return wire.Endpoint{}, fmt.Errorf("serving: service %q is not a gather service", name)
+		}
+	case wire.KindPredict:
+		if ep.Predict == nil {
+			return wire.Endpoint{}, fmt.Errorf("serving: service %q is not a predict service", name)
+		}
+	default:
+		return wire.Endpoint{}, fmt.Errorf("serving: unknown connection kind %d", kind)
+	}
+	return ep, nil
 }
 
 func (s *RPCServer) acceptLoop() {
 	for {
 		conn, err := s.listener.Accept()
 		if err != nil {
+			// A failed Accept is terminal either way; what differs is
+			// whether it was asked for. Close closes s.done before the
+			// listener, so a clean shutdown stays silent and a listener
+			// failure is logged exactly once.
 			select {
 			case <-s.done:
-				return
 			default:
-				return // listener failed; stop accepting
+				log.Printf("serving: rpc accept on %s failed, no longer accepting: %v", s.Addr(), err)
 			}
+			return
 		}
 		s.mu.Lock()
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
 		go func() {
-			s.server.ServeConn(conn)
+			s.serveConn(conn)
+			_ = conn.Close()
 			s.mu.Lock()
 			delete(s.conns, conn)
 			s.mu.Unlock()
 		}()
 	}
+}
+
+// serveConn sniffs the codec from the connection's first four bytes and
+// serves it: the wire magic selects the binary framed protocol, anything
+// else (a gob type descriptor never starts with the magic's first byte)
+// replays the sniffed bytes into net/rpc.
+func (s *RPCServer) serveConn(conn net.Conn) {
+	var first [4]byte
+	if _, err := io.ReadFull(conn, first[:]); err != nil {
+		return
+	}
+	if first == wire.Magic {
+		wire.ServeConn(conn, s.resolve)
+		return
+	}
+	s.server.ServeConn(&sniffedConn{Conn: conn, prefix: first[:]})
+}
+
+// sniffedConn replays sniffed bytes ahead of the remaining stream.
+type sniffedConn struct {
+	net.Conn
+	prefix []byte
+}
+
+// Read drains the replay prefix before the live connection.
+func (c *sniffedConn) Read(p []byte) (int, error) {
+	if len(c.prefix) > 0 {
+		n := copy(p, c.prefix)
+		c.prefix = c.prefix[n:]
+		return n, nil
+	}
+	return c.Conn.Read(p)
 }
 
 // Close stops the listener and all live connections.
@@ -114,19 +222,98 @@ func (p *predictRPC) Predict(req *PredictRequest, reply *PredictReply) error {
 	return p.svc.Predict(ctx, req, reply)
 }
 
-// RPCGatherClient calls a remote gather service.
+// RPCGatherClient calls a remote gather service over the binary framed
+// codec: one sticky pipelined connection, any number of concurrent calls.
 type RPCGatherClient struct {
-	client *rpc.Client
-	method string
+	conn *wire.Conn
 }
 
-// DialGather connects to a gather service registered under name at addr.
+// DialGather connects to a gather service registered under name at addr,
+// negotiating the binary codec (and failing fast on an unregistered name
+// or a hung address — the dial and handshake are bounded by DialTimeout).
 func DialGather(addr, name string) (*RPCGatherClient, error) {
-	c, err := rpc.Dial("tcp", addr)
+	c, err := wire.Dial(addr, name, wire.KindGather, DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return &RPCGatherClient{conn: c}, nil
+}
+
+// Gather implements GatherClient over the wire: the context deadline is
+// stamped onto the request (copy-on-write, the caller's request is never
+// mutated) and the call follows the rpcGo cancel contract — a canceled
+// context unblocks the caller immediately, and the abandoned call's
+// eventual reply decodes into a private struct the reader discards.
+func (c *RPCGatherClient) Gather(ctx context.Context, req *GatherRequest, reply *GatherReply) error {
+	if dl := ctxDeadlineNanos(ctx); dl != 0 && dl != req.Deadline {
+		stamped := *req
+		stamped.Deadline = dl
+		req = &stamped
+	}
+	var inner GatherReply
+	err := c.conn.Call(ctx,
+		func(b []byte) []byte { return wire.AppendGatherRequest(b, req) },
+		func(p []byte) error { return wire.DecodeGatherReply(p, &inner) })
+	if err != nil {
+		return err
+	}
+	*reply = inner
+	return nil
+}
+
+// Close tears down the connection.
+func (c *RPCGatherClient) Close() error { return c.conn.Close() }
+
+var _ GatherClient = (*RPCGatherClient)(nil)
+
+// RPCPredictClient calls a remote predict service over the binary framed
+// codec (same pipelining and cancel contract as RPCGatherClient).
+type RPCPredictClient struct {
+	conn *wire.Conn
+}
+
+// DialPredict connects to a predict service registered under name at
+// addr over the binary codec (see DialGather).
+func DialPredict(addr, name string) (*RPCPredictClient, error) {
+	c, err := wire.Dial(addr, name, wire.KindPredict, DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return &RPCPredictClient{conn: c}, nil
+}
+
+// Predict implements PredictClient over the wire (same deadline/cancel
+// contract as RPCGatherClient.Gather).
+func (c *RPCPredictClient) Predict(ctx context.Context, req *PredictRequest, reply *PredictReply) error {
+	if dl := ctxDeadlineNanos(ctx); dl != 0 && dl != req.Deadline {
+		stamped := *req
+		stamped.Deadline = dl
+		req = &stamped
+	}
+	var inner PredictReply
+	err := c.conn.Call(ctx,
+		func(b []byte) []byte { return wire.AppendPredictRequest(b, req) },
+		func(p []byte) error { return wire.DecodePredictReply(p, &inner) })
+	if err != nil {
+		return err
+	}
+	*reply = inner
+	return nil
+}
+
+// Close tears down the connection.
+func (c *RPCPredictClient) Close() error { return c.conn.Close() }
+
+var _ PredictClient = (*RPCPredictClient)(nil)
+
+// dialGob dials a net/rpc gob connection with the same bound as the
+// binary codec's dial.
+func dialGob(addr string) (*rpc.Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("serving: rpc dial %s: %w", addr, err)
 	}
-	return &RPCGatherClient{client: c, method: name + ".Gather"}, nil
+	return rpc.NewClient(conn), nil
 }
 
 // rpcGo issues one net/rpc call with context cancellation: a canceled
@@ -151,41 +338,26 @@ func rpcGo[Rep any](ctx context.Context, client *rpc.Client, method string, req 
 	}
 }
 
-// Gather implements GatherClient over the wire: the context deadline is
-// stamped onto the request (copy-on-write, the caller's request is never
-// mutated) and the call follows the rpcGo cancel contract.
-func (c *RPCGatherClient) Gather(ctx context.Context, req *GatherRequest, reply *GatherReply) error {
-	if dl := ctxDeadlineNanos(ctx); dl != 0 && dl != req.Deadline {
-		stamped := *req
-		stamped.Deadline = dl
-		req = &stamped
-	}
-	return rpcGo(ctx, c.client, c.method, req, reply)
-}
-
-// Close tears down the connection.
-func (c *RPCGatherClient) Close() error { return c.client.Close() }
-
-var _ GatherClient = (*RPCGatherClient)(nil)
-
-// RPCPredictClient calls a remote predict service.
-type RPCPredictClient struct {
+// GobGatherClient calls a remote gather service over the legacy net/rpc
+// gob codec. The binary codec (DialGather) is the default everywhere; gob
+// clients remain for mixed-fleet interop and as the benchmark baseline
+// the wire codec is measured against.
+type GobGatherClient struct {
 	client *rpc.Client
 	method string
 }
 
-// DialPredict connects to a predict service registered under name at addr.
-func DialPredict(addr, name string) (*RPCPredictClient, error) {
-	c, err := rpc.Dial("tcp", addr)
+// DialGatherGob connects to a gather service over the gob codec.
+func DialGatherGob(addr, name string) (*GobGatherClient, error) {
+	c, err := dialGob(addr)
 	if err != nil {
-		return nil, fmt.Errorf("serving: rpc dial %s: %w", addr, err)
+		return nil, err
 	}
-	return &RPCPredictClient{client: c, method: name + ".Predict"}, nil
+	return &GobGatherClient{client: c, method: name + ".Gather"}, nil
 }
 
-// Predict implements PredictClient over the wire (same deadline/cancel
-// contract as RPCGatherClient.Gather).
-func (c *RPCPredictClient) Predict(ctx context.Context, req *PredictRequest, reply *PredictReply) error {
+// Gather implements GatherClient over gob (rpcGo cancel contract).
+func (c *GobGatherClient) Gather(ctx context.Context, req *GatherRequest, reply *GatherReply) error {
 	if dl := ctxDeadlineNanos(ctx); dl != 0 && dl != req.Deadline {
 		stamped := *req
 		stamped.Deadline = dl
@@ -195,6 +367,37 @@ func (c *RPCPredictClient) Predict(ctx context.Context, req *PredictRequest, rep
 }
 
 // Close tears down the connection.
-func (c *RPCPredictClient) Close() error { return c.client.Close() }
+func (c *GobGatherClient) Close() error { return c.client.Close() }
 
-var _ PredictClient = (*RPCPredictClient)(nil)
+var _ GatherClient = (*GobGatherClient)(nil)
+
+// GobPredictClient calls a remote predict service over the legacy gob
+// codec (see GobGatherClient).
+type GobPredictClient struct {
+	client *rpc.Client
+	method string
+}
+
+// DialPredictGob connects to a predict service over the gob codec.
+func DialPredictGob(addr, name string) (*GobPredictClient, error) {
+	c, err := dialGob(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &GobPredictClient{client: c, method: name + ".Predict"}, nil
+}
+
+// Predict implements PredictClient over gob (rpcGo cancel contract).
+func (c *GobPredictClient) Predict(ctx context.Context, req *PredictRequest, reply *PredictReply) error {
+	if dl := ctxDeadlineNanos(ctx); dl != 0 && dl != req.Deadline {
+		stamped := *req
+		stamped.Deadline = dl
+		req = &stamped
+	}
+	return rpcGo(ctx, c.client, c.method, req, reply)
+}
+
+// Close tears down the connection.
+func (c *GobPredictClient) Close() error { return c.client.Close() }
+
+var _ PredictClient = (*GobPredictClient)(nil)

@@ -1,102 +1,40 @@
 // Package serving is the live microservice engine: real goroutine-backed
-// model-shard services communicating over Go's net/rpc (loopback TCP) or a
-// zero-copy in-process transport. It implements the paper's life-of-a-query
-// path (Sec. IV-A): a dense DNN shard receives the query, bucketizes the
-// sparse inputs, fans gather RPCs out to the embedding shards, merges the
-// pooled partial sums, and finishes the forward pass. A monolithic server
-// provides the model-wise baseline, and the equivalence tests assert that
-// sharded serving reproduces monolithic predictions.
+// model-shard services communicating over loopback TCP (a length-prefixed
+// binary codec by default, net/rpc gob for legacy/admin traffic — see
+// internal/serving/wire) or a zero-copy in-process transport. It
+// implements the paper's life-of-a-query path (Sec. IV-A): a dense DNN
+// shard receives the query, bucketizes the sparse inputs, fans gather
+// RPCs out to the embedding shards, merges the pooled partial sums, and
+// finishes the forward pass. A monolithic server provides the model-wise
+// baseline, and the equivalence tests assert that sharded serving
+// reproduces monolithic predictions.
 package serving
 
 import (
 	"context"
-	"fmt"
-	"time"
 
-	"repro/internal/embedding"
+	"repro/internal/serving/wire"
 )
 
-// GatherRequest asks an embedding shard to gather-and-pool one batch. The
-// indices are shard-local (already bucketized and rebased, Fig. 11c).
-type GatherRequest struct {
-	Table   int
-	Shard   int
-	Indices []int64
-	Offsets []int32
-	// Deadline carries the caller's context deadline across process
-	// boundaries as unix nanoseconds (0 = none). The TCP transport stamps
-	// it on the way out and reconstructs the context server-side, so a
-	// frontend deadline bounds every downstream gather.
-	Deadline int64
-}
-
-// GatherReply carries the pooled partial sums: BatchSize rows of Dim
-// float32s, row-major.
-type GatherReply struct {
-	BatchSize int
-	Dim       int
-	Pooled    []float32
-}
-
-// TableBatch is one table's index/offset arrays within a predict request.
-type TableBatch struct {
-	Indices []int64
-	Offsets []int32
-}
-
-// PredictRequest is a full inference query: the dense features for every
-// input plus, per table, the sparse lookup batch. Index space depends on
-// the receiving service: the monolith expects original table IDs; the
-// ElasticRec dense shard expects original IDs too when its routing table
-// carries a preprocessing remap (the remap is applied inside the epoch
-// snapshot, so batching and plan swaps can never mix ID spaces), and
-// hotness-sorted IDs when it does not.
-type PredictRequest struct {
-	// Model names the DLRM variant the request addresses. Empty routes to
-	// the deployment's default model, so single-variant clients never set
-	// it. The field rides the net/rpc wire format: a multi-model frontend
-	// dispatches on it, and every model-aware service (dense shard,
-	// batcher) rejects a mismatched request rather than serve it with the
-	// wrong variant's parameters. Gathers carry no model field — a gather
-	// fan-out happens strictly inside one pinned epoch of one model, so
-	// the model is implied by the shard client the epoch hands out.
-	Model     string
-	BatchSize int
-	DenseDim  int
-	Dense     []float32 // BatchSize x DenseDim, row-major
-	Tables    []TableBatch
-	// Deadline mirrors GatherRequest.Deadline for the predict wire format.
-	Deadline int64
-}
-
-// PredictReply carries one click probability per input.
-type PredictReply struct {
-	Probs []float32
-}
-
-// Validate checks the request's structural invariants against the model
-// geometry.
-func (r *PredictRequest) Validate(numTables int) error {
-	if r.BatchSize <= 0 {
-		return fmt.Errorf("serving: batch size must be positive, got %d", r.BatchSize)
-	}
-	if len(r.Dense) != r.BatchSize*r.DenseDim {
-		return fmt.Errorf("serving: dense payload %d != %d x %d", len(r.Dense), r.BatchSize, r.DenseDim)
-	}
-	if len(r.Tables) != numTables {
-		return fmt.Errorf("serving: %d table batches, want %d", len(r.Tables), numTables)
-	}
-	for t, tb := range r.Tables {
-		b := embedding.Batch{Indices: tb.Indices, Offsets: tb.Offsets}
-		if err := b.Validate(); err != nil {
-			return fmt.Errorf("serving: table %d: %w", t, err)
-		}
-		if len(tb.Offsets) != r.BatchSize {
-			return fmt.Errorf("serving: table %d batch size %d != %d", t, len(tb.Offsets), r.BatchSize)
-		}
-	}
-	return nil
-}
+// The serving messages are defined in internal/serving/wire (the codec
+// cannot depend on this package) and aliased here, so every call site —
+// and the gob transport, which encodes concrete struct shapes, not
+// package paths — is untouched by the move.
+type (
+	// GatherRequest asks an embedding shard to gather-and-pool one batch
+	// (see wire.GatherRequest).
+	GatherRequest = wire.GatherRequest
+	// GatherReply carries the pooled partial sums (see wire.GatherReply).
+	GatherReply = wire.GatherReply
+	// TableBatch is one table's index/offset arrays within a predict
+	// request (see wire.TableBatch).
+	TableBatch = wire.TableBatch
+	// PredictRequest is a full inference query (see wire.PredictRequest).
+	PredictRequest = wire.PredictRequest
+	// PredictReply carries one click probability per input (see
+	// wire.PredictReply).
+	PredictReply = wire.PredictReply
+)
 
 // GatherClient is anything that can service a gather call: a local shard,
 // an RPC connection, or a load-balanced replica pool. Implementations
@@ -114,18 +52,10 @@ type PredictClient interface {
 
 // ctxDeadlineNanos converts a context deadline to the wire encoding
 // (unix nanoseconds, 0 = none).
-func ctxDeadlineNanos(ctx context.Context) int64 {
-	if dl, ok := ctx.Deadline(); ok {
-		return dl.UnixNano()
-	}
-	return 0
-}
+func ctxDeadlineNanos(ctx context.Context) int64 { return wire.CtxDeadlineNanos(ctx) }
 
 // deadlineContext reconstructs a context from the wire encoding. The
 // returned cancel func must always be called.
 func deadlineContext(nanos int64) (context.Context, context.CancelFunc) {
-	if nanos > 0 {
-		return context.WithDeadline(context.Background(), time.Unix(0, nanos))
-	}
-	return context.WithCancel(context.Background())
+	return wire.DeadlineContext(nanos)
 }

@@ -1,0 +1,75 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWireCodec drives every decoder with arbitrary bytes. Invariants:
+//
+//   - no decoder may panic, whatever the input;
+//   - a successful decode means the frame was canonical (the strict
+//     trailing-byte checks), so re-encoding must reproduce the input
+//     byte-for-byte (float32 enc only — int8 requantization is lossy
+//     when the stored scale doesn't match the row maximum);
+//   - decoders must not allocate for element counts the frame cannot
+//     hold, which the re-encode check enforces indirectly: a decoded
+//     message's payload re-encodes to exactly len(input) bytes.
+func FuzzWireCodec(f *testing.F) {
+	f.Add(AppendGatherRequest(nil, &GatherRequest{
+		Table: 2, Shard: 1, Deadline: 99,
+		Indices: []int64{5, 9, 1 << 40}, Offsets: []int32{0, 2},
+	}))
+	f.Add(AppendGatherReply(nil, &GatherReply{
+		BatchSize: 2, Dim: 3, Pooled: []float32{1, -2, 3, 0.5, 0, -0.25},
+	}, false))
+	f.Add(AppendGatherReply(nil, &GatherReply{
+		BatchSize: 2, Dim: 2, Pooled: []float32{1, -2, 3, 4},
+	}, true))
+	f.Add(AppendPredictRequest(nil, &PredictRequest{
+		Model: "rm1", BatchSize: 2, DenseDim: 2, Deadline: 7,
+		Dense: []float32{1, 2, 3, 4},
+		Tables: []TableBatch{
+			{Indices: []int64{1, 2, 3}, Offsets: []int32{0, 2}},
+			{Indices: []int64{9}, Offsets: []int32{0, 1}},
+		},
+	}))
+	f.Add(AppendPredictReply(nil, &PredictReply{Probs: []float32{0.25, 0.75}}))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var greq GatherRequest
+		if err := DecodeGatherRequest(data, &greq); err == nil {
+			if out := AppendGatherRequest(nil, &greq); !bytes.Equal(out, data) {
+				t.Fatalf("GatherRequest not canonical: %x -> %x", data, out)
+			}
+			FreeGatherRequest(&greq)
+		}
+
+		var grep GatherReply
+		if err := DecodeGatherReply(data, &grep); err == nil {
+			if len(data) >= 9 && data[8] == EncFloat32 {
+				if out := AppendGatherReply(nil, &grep, false); !bytes.Equal(out, data) {
+					t.Fatalf("GatherReply not canonical: %x -> %x", data, out)
+				}
+			}
+			FreeGatherReply(&grep)
+		}
+
+		var preq PredictRequest
+		if err := DecodePredictRequest(data, &preq); err == nil {
+			if out := AppendPredictRequest(nil, &preq); !bytes.Equal(out, data) {
+				t.Fatalf("PredictRequest not canonical: %x -> %x", data, out)
+			}
+			FreePredictRequest(&preq)
+		}
+
+		var prep PredictReply
+		if err := DecodePredictReply(data, &prep); err == nil {
+			if out := AppendPredictReply(nil, &prep); !bytes.Equal(out, data) {
+				t.Fatalf("PredictReply not canonical: %x -> %x", data, out)
+			}
+		}
+	})
+}

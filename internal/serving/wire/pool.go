@@ -1,0 +1,100 @@
+package wire
+
+import "sync"
+
+// This file is the shared buffer-recycling layer for the serving plane.
+// Encoders, decoders and the shard services all draw their scratch from
+// these pools, so on the in-process transport one float32 backing array
+// cycles shard → dense merge → pool → shard, and on the binary transport
+// the decoded reply buffers recycle the same way client-side while the
+// server recycles decoded request slices after the reply is written.
+// Contents of a freshly acquired slice are unspecified — every writer
+// must overwrite its slice before reading it.
+
+// slicePool recycles slices of one element type. Get returns a slice of
+// exactly n elements, reusing pooled backing storage when it is large
+// enough (too-small pooled slices are dropped, so buffers grow toward the
+// workload's working-set size instead of being reallocated every call).
+type slicePool[T any] struct{ p sync.Pool }
+
+func (sp *slicePool[T]) get(n int) []T {
+	if v := sp.p.Get(); v != nil {
+		if s := *(v.(*[]T)); cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]T, n)
+}
+
+func (sp *slicePool[T]) put(s []T) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:cap(s)]
+	sp.p.Put(&s)
+}
+
+var (
+	float32Pool slicePool[float32]
+	int64Pool   slicePool[int64]
+	int32Pool   slicePool[int32]
+	bytePool    slicePool[byte]
+	tablePool   slicePool[TableBatch]
+)
+
+// GetFloat32 returns a float32 slice of length n from the shared pool.
+func GetFloat32(n int) []float32 { return float32Pool.get(n) }
+
+// PutFloat32 recycles a slice obtained from GetFloat32 (or any float32
+// buffer the caller is done with). Safe to call with nil.
+func PutFloat32(s []float32) { float32Pool.put(s) }
+
+// GetInt64 returns an int64 slice of length n from the shared pool.
+func GetInt64(n int) []int64 { return int64Pool.get(n) }
+
+// PutInt64 recycles a slice obtained from GetInt64. Safe to call with nil.
+func PutInt64(s []int64) { int64Pool.put(s) }
+
+// GetInt32 returns an int32 slice of length n from the shared pool.
+func GetInt32(n int) []int32 { return int32Pool.get(n) }
+
+// PutInt32 recycles a slice obtained from GetInt32. Safe to call with nil.
+func PutInt32(s []int32) { int32Pool.put(s) }
+
+// GetBuf returns an empty byte buffer with capacity at least n, for
+// append-style frame encoding.
+func GetBuf(n int) []byte { return bytePool.get(n)[:0] }
+
+// PutBuf recycles a buffer obtained from GetBuf. Safe to call with nil.
+func PutBuf(b []byte) { bytePool.put(b) }
+
+// FreeGatherRequest recycles a *decoded* gather request's pooled slices
+// (server-side, after the reply has been encoded). Never call it on a
+// caller-owned request.
+func FreeGatherRequest(req *GatherRequest) {
+	PutInt64(req.Indices)
+	PutInt32(req.Offsets)
+	req.Indices, req.Offsets = nil, nil
+}
+
+// FreeGatherReply recycles a gather reply's pooled row buffer.
+func FreeGatherReply(rep *GatherReply) {
+	PutFloat32(rep.Pooled)
+	rep.Pooled = nil
+}
+
+// FreePredictRequest recycles a *decoded* predict request's pooled slices
+// (server-side, after the synchronous Predict call returned — the dense
+// shard and the batcher both copy what they keep, so nothing downstream
+// retains these arrays).
+func FreePredictRequest(req *PredictRequest) {
+	PutFloat32(req.Dense)
+	req.Dense = nil
+	for i := range req.Tables {
+		PutInt64(req.Tables[i].Indices)
+		PutInt32(req.Tables[i].Offsets)
+		req.Tables[i] = TableBatch{}
+	}
+	tablePool.put(req.Tables)
+	req.Tables = nil
+}

@@ -1,0 +1,250 @@
+package serving
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestMixedTransportClients serves one multi-model frontend and drives it
+// with a binary framed client and a legacy gob client at the same time,
+// over the same listener. Both must score identically to the variants'
+// monoliths, and the gob-speaking admin client must keep working beside
+// them — the codec-sniffing accept loop's interop contract.
+func TestMixedTransportClients(t *testing.T) {
+	md, monos, reqs := multiFixture(t, BuildOptions{}, BuildOptions{})
+	addr, err := md.ExportPredict("Frontend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := DialPredict(addr, "Frontend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bin.Close()
+	gob, err := DialPredictGob(addr, "Frontend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gob.Close()
+	admin, err := DialAdmin(addr, "Frontend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+
+	clients := map[string]PredictClient{"binary": bin, "gob": gob}
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(clients))
+	for cname, client := range clients {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, name := range []string{"a", "b"} {
+				for _, req := range reqs[name] {
+					var got, want PredictReply
+					if err := client.Predict(bg, req, &got); err != nil {
+						errCh <- err
+						return
+					}
+					if err := monos[name].Predict(bg, req, &want); err != nil {
+						errCh <- err
+						return
+					}
+					for j := range want.Probs {
+						if math.Abs(float64(got.Probs[j]-want.Probs[j])) > 1e-4 {
+							errCh <- errors.New(cname + " client diverged from monolith on " + name)
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	st, err := admin.Status(bg, "")
+	if err != nil {
+		t.Fatalf("admin over shared listener: %v", err)
+	}
+	if len(st) != 2 {
+		t.Fatalf("admin status models = %d, want 2", len(st))
+	}
+}
+
+// TestWireGobCodecOption builds a TCP deployment whose shard gathers ride
+// the legacy gob codec (BuildOptions.WireCodec) and checks monolith
+// equivalence — the opt-out path must stay bit-exact.
+func TestWireGobCodecOption(t *testing.T) {
+	cfg := liveConfig()
+	m, stats, gen := buildFixture(t, cfg)
+	mono := NewMonolith(m.Clone())
+	ld, err := BuildElastic(m, stats, []int64{50, 200, cfg.RowsPerTable},
+		BuildOptions{Transport: TransportTCP, WireCodec: WireGob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ld.Close()
+	for i := 0; i < 16; i++ {
+		req := makeRequest(cfg, gen, uint64(1000+i))
+		var got, want PredictReply
+		if err := ld.Predict(bg, req, &got); err != nil {
+			t.Fatal(err)
+		}
+		if err := mono.Predict(bg, req, &want); err != nil {
+			t.Fatal(err)
+		}
+		for j := range want.Probs {
+			if math.Abs(float64(got.Probs[j]-want.Probs[j])) > 1e-5 {
+				t.Fatalf("req %d input %d: gob-wire %v != monolith %v", i, j, got.Probs[j], want.Probs[j])
+			}
+		}
+	}
+
+	if _, err := BuildElastic(m.Clone(), stats, []int64{50, 200, cfg.RowsPerTable},
+		BuildOptions{Transport: TransportTCP, WireCodec: WireCodec("xdr")}); err == nil {
+		t.Fatal("unknown wire codec accepted")
+	}
+}
+
+// TestWireQuantPredictAccuracy builds twin TCP deployments — one with the
+// int8-quantized gather encoding, one float32 — and checks every
+// prediction agrees within 1e-2 (the acceptance bound: per-row
+// quantization error is <= maxabs/254 per element before the MLPs).
+func TestWireQuantPredictAccuracy(t *testing.T) {
+	cfg := liveConfig()
+	m, stats, gen := buildFixture(t, cfg)
+	exact, err := BuildElastic(m, stats, []int64{50, 200, cfg.RowsPerTable},
+		BuildOptions{Transport: TransportTCP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exact.Close()
+	quant, err := BuildElastic(m.Clone(), stats, []int64{50, 200, cfg.RowsPerTable},
+		BuildOptions{Transport: TransportTCP, WireQuant: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer quant.Close()
+	for i := 0; i < 24; i++ {
+		req := makeRequest(cfg, gen, uint64(2000+i))
+		var got, want PredictReply
+		if err := quant.Predict(bg, req, &got); err != nil {
+			t.Fatal(err)
+		}
+		if err := exact.Predict(bg, req, &want); err != nil {
+			t.Fatal(err)
+		}
+		for j := range want.Probs {
+			if math.Abs(float64(got.Probs[j]-want.Probs[j])) > 1e-2 {
+				t.Fatalf("req %d input %d: quantized %v drifted from float32 %v", i, j, got.Probs[j], want.Probs[j])
+			}
+		}
+	}
+}
+
+// slowPredict delays each reply by the duration in its model name's
+// request Dense[0] (milliseconds) and echoes that value back, so a test
+// can force out-of-order completion on one pipelined connection.
+type slowPredict struct{}
+
+func (slowPredict) Predict(ctx context.Context, req *PredictRequest, reply *PredictReply) error {
+	delay := time.Duration(req.Dense[0]) * time.Millisecond
+	select {
+	case <-time.After(delay):
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	reply.Probs = []float32{req.Dense[0]}
+	return nil
+}
+
+// TestWirePipelinedOutOfOrder issues concurrent calls through one binary
+// connection with inverted delays: the last request finishes first, so
+// replies come back out of submission order and each must still land on
+// its own call.
+func TestWirePipelinedOutOfOrder(t *testing.T) {
+	srv, err := NewRPCServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := srv.RegisterPredict("Slow", slowPredict{}); err != nil {
+		t.Fatal(err)
+	}
+	client, err := DialPredict(srv.Addr(), "Slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	replies := make([]PredictReply, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req := &PredictRequest{BatchSize: 1, DenseDim: 1, Dense: []float32{float32((n - i) * 10)}}
+			errs[i] = client.Predict(bg, req, &replies[i])
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("call %d: %v", i, errs[i])
+		}
+		if want := float32((n - i) * 10); len(replies[i].Probs) != 1 || replies[i].Probs[0] != want {
+			t.Fatalf("call %d got %v, want [%v] — replies crossed", i, replies[i].Probs, want)
+		}
+	}
+}
+
+// TestWireCancelAbandonsCall cancels a call mid-flight and checks the
+// rpcGo contract carries over: the caller gets ctx.Err() promptly, the
+// late reply is discarded without racing anyone, and the connection stays
+// usable for subsequent calls.
+func TestWireCancelAbandonsCall(t *testing.T) {
+	srv, err := NewRPCServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := srv.RegisterPredict("Slow", slowPredict{}); err != nil {
+		t.Fatal(err)
+	}
+	client, err := DialPredict(srv.Addr(), "Slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	ctx, cancel := context.WithTimeout(bg, 30*time.Millisecond)
+	defer cancel()
+	var abandoned PredictReply
+	req := &PredictRequest{BatchSize: 1, DenseDim: 1, Dense: []float32{2000}}
+	start := time.Now()
+	err = client.Predict(ctx, req, &abandoned)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cancelled call returned %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("cancelled call did not return promptly")
+	}
+
+	var ok PredictReply
+	if err := client.Predict(bg, &PredictRequest{BatchSize: 1, DenseDim: 1, Dense: []float32{1}}, &ok); err != nil {
+		t.Fatalf("connection unusable after abandoned call: %v", err)
+	}
+	if len(ok.Probs) != 1 || ok.Probs[0] != 1 {
+		t.Fatalf("post-cancel reply = %v", ok.Probs)
+	}
+}
