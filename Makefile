@@ -27,9 +27,11 @@ bench:
 
 # The zero-downtime plan-swap and model-lifecycle acceptance tests under
 # the race detector: 8 concurrent clients, 10 swaps, deploy/undeploy under
-# fire, both transports.
+# fire, both transports — plus the pull-pool invariant suite (no gather
+# lost or duplicated across scale/kill churn, typed backpressure,
+# drain-to-zero on close).
 race-repartition:
-	$(GO) test -race -run 'Repartition|Straggler|Cancels|Lifecycle|ReplanMemo' -count=1 ./internal/serving/
+	$(GO) test -race -run 'Repartition|Straggler|Cancels|Lifecycle|ReplanMemo|PullPool' -count=1 ./internal/serving/
 
 # Control-plane smoke: the model-lifecycle closed loop (deploy/undeploy
 # over the versioned admin RPC) in short mode — CI runs this in the checks
@@ -61,12 +63,14 @@ bench-json:
 # allocs/op depends on the batch-fusing ratio, which varies with core
 # count and timing — those stay trajectory-only in BENCH_serving.json.
 # benchtime matches bench-json's 20x so first-op pool-miss allocations
-# amortize identically on both sides. Refresh the baseline with
-# `make bench-json` when a change legitimately moves it.
+# amortize identically on both sides (QueueDepthScaling also saturates its
+# replica cap within that window, so its allocs/op is steady-state too).
+# Refresh the baseline with `make bench-json` when a change legitimately
+# moves it.
 bench-guard:
-	$(GO) test -run='^$$' -bench='Serving_(EndToEndPredict|Repartition)|Wire_Codec' -benchmem -benchtime=20x . > bench-guard.txt
+	$(GO) test -run='^$$' -bench='Serving_(EndToEndPredict|Repartition|QueueDepthScaling)|Wire_Codec' -benchmem -benchtime=20x . > bench-guard.txt
 	$(GO) run ./cmd/benchjson < bench-guard.txt > bench-guard.json
-	$(GO) run ./cmd/benchguard -baseline BENCH_serving.json -current bench-guard.json -filter Serving_EndToEndPredict,Serving_Repartition,Wire_Codec -max-regress 0.25
+	$(GO) run ./cmd/benchguard -baseline BENCH_serving.json -current bench-guard.json -filter Serving_EndToEndPredict,Serving_Repartition,Serving_QueueDepthScaling,Wire_Codec -max-regress 0.25
 
 # Fuzz smoke: run the wire-codec fuzz target briefly — malformed frames
 # must error, never panic or over-allocate, and every frame that decodes

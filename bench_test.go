@@ -1055,6 +1055,81 @@ func BenchmarkServing_MonolithPredict(b *testing.B) {
 	}
 }
 
+// BenchmarkServing_QueueDepthScaling is the autoscale-hotshard closed loop
+// in benchmark form: every gather against a single-replica pull pool
+// stalls (fault injection), concurrent bursts pile depth into the bounded
+// queue, and the queue-depth policy is evaluated between bursts. The
+// replicas-added/op metric reports how much capacity the policy granted
+// per burst; it saturates at MaxReplicas, so compare runs at the same
+// fixed -benchtime. Replicas are pre-built so the measured allocations
+// are the steady-state enqueue/dispatch path, not shard construction.
+func BenchmarkServing_QueueDepthScaling(b *testing.B) {
+	const rows = 4_000
+	tab, err := embedding.NewRandomTable("qds", rows, 16, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	shard, err := serving.NewEmbeddingShard(0, 0, tab, 0, rows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := serving.NewReplicaPool(shard)
+	defer pool.Close()
+	pool.InjectDelay(200 * time.Microsecond)
+	const maxReplicas = 4
+	spares := make([]serving.GatherClient, 0, maxReplicas-1)
+	for i := 1; i < maxReplicas; i++ {
+		s, err := serving.NewEmbeddingShard(0, i, tab, 0, rows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		spares = append(spares, s)
+	}
+	var added atomic.Int64
+	scaler := &serving.LiveAutoscaler{OnScale: func(_ *serving.AutoscaledShard, from, to int) {
+		if to > from {
+			added.Add(1)
+		}
+	}}
+	hot := &serving.AutoscaledShard{
+		Name:        "qds-t0-s0",
+		Pool:        pool,
+		Queue:       &serving.QueuePolicy{HighDepth: 2, LowDepth: 0},
+		MaxReplicas: maxReplicas,
+		Spawn: func() (serving.GatherClient, error) {
+			if len(spares) == 0 {
+				return nil, context.Canceled // never reached: MaxReplicas caps first
+			}
+			s := spares[0]
+			spares = spares[1:]
+			return s, nil
+		},
+	}
+	req := &serving.GatherRequest{Indices: []int64{1, 2, 3}, Offsets: []int32{0}}
+	const burst = 8
+	replies := make([]serving.GatherReply, burst)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for c := 0; c < burst; c++ {
+			c := c
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				replies[c] = serving.GatherReply{}
+				if err := pool.Gather(context.Background(), req, &replies[c]); err != nil {
+					b.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+		scaler.Evaluate(hot)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(added.Load())/float64(b.N), "replicas-added/op")
+}
+
 // BenchmarkServing_StressTestShard runs the Sec. IV-D QPSmax stress test
 // against a live embedding shard.
 func BenchmarkServing_StressTestShard(b *testing.B) {

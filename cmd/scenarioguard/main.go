@@ -83,8 +83,36 @@ func compareRows(artifact string, baseline, current []benchio.Row, th thresholds
 			regs = append(regs, regression{artifact: artifact, row: cur.Name,
 				metric: "error_rate", baseline: b.ErrorRate, actual: cur.ErrorRate})
 		}
+		// Counter gates, judged only when both sides carry the key (so
+		// rows from before a counter existed never fail retroactively).
+		// Both are deterministic, not hardware-dependent: autoscaler runs
+		// must keep scaling out (a baseline that added replicas sets the
+		// floor), and swaps only come from timeline events, so extra
+		// swaps mean an unexpected repartition.
+		if bv, cv, ok := extraPair(b, cur, "replicas_added"); ok {
+			compared++
+			if bv >= 1 && cv < 1 {
+				regs = append(regs, regression{artifact: artifact, row: cur.Name,
+					metric: "replicas_added", baseline: bv, actual: cv})
+			}
+		}
+		if bv, cv, ok := extraPair(b, cur, "swaps"); ok {
+			compared++
+			if cv > bv {
+				regs = append(regs, regression{artifact: artifact, row: cur.Name,
+					metric: "swaps", baseline: bv, actual: cv})
+			}
+		}
 	}
 	return compared, regs
+}
+
+// extraPair returns a named Extra counter from both rows; ok only when the
+// key is present on both sides.
+func extraPair(b, cur benchio.Row, key string) (bv, cv float64, ok bool) {
+	bv, bok := b.Extra[key]
+	cv, cok := cur.Extra[key]
+	return bv, cv, bok && cok
 }
 
 // phaseReport is one per-phase guard row: a scenario phase's p95 and

@@ -54,6 +54,45 @@ func TestCompareRowsSkipsNewRowsAndZeroBaselines(t *testing.T) {
 	}
 }
 
+// TestCompareRowsGatesAutoscaleCounters checks the Extra counter gates: a
+// baseline that scaled out sets a replicas_added floor, extra swaps over
+// baseline flag an unexpected repartition, and rows missing a counter on
+// either side are never judged on it.
+func TestCompareRowsGatesAutoscaleCounters(t *testing.T) {
+	th := thresholds{latencyRatio: 4, errorIncrease: 0.01}
+	mk := func(added, swaps float64) []benchio.Row {
+		return []benchio.Row{{
+			Name: "Scenario_hot/model=hot", P50Ms: 2, P99Ms: 10,
+			Extra: map[string]float64{"replicas_added": added, "swaps": swaps},
+		}}
+	}
+
+	// Autoscaler stopped firing against a baseline that scaled out.
+	_, regs := compareRows("hot", mk(2, 0), mk(0, 0), th)
+	if len(regs) != 1 || regs[0].metric != "replicas_added" {
+		t.Fatalf("regs = %v, want the replicas_added floor flagged", regs)
+	}
+
+	// Unexpected repartition: swaps above baseline.
+	_, regs = compareRows("hot", mk(2, 1), mk(2, 2), th)
+	if len(regs) != 1 || regs[0].metric != "swaps" {
+		t.Fatalf("regs = %v, want the swaps ceiling flagged", regs)
+	}
+
+	// Matching counters pass, and the counter pairs count as compared.
+	compared, regs := compareRows("hot", mk(2, 1), mk(3, 1), th)
+	if len(regs) != 0 || compared != 5 { // p50 + p99 + error_rate + 2 counters
+		t.Fatalf("compared=%d regs=%v, want 5 metrics judged and no regressions", compared, regs)
+	}
+
+	// A baseline without the counters never judges them retroactively.
+	old := []benchio.Row{{Name: "Scenario_hot/model=hot", P50Ms: 2, P99Ms: 10}}
+	compared, regs = compareRows("hot", old, mk(0, 99), th)
+	if len(regs) != 0 || compared != 3 {
+		t.Fatalf("compared=%d regs=%v, want counters skipped when baseline lacks them", compared, regs)
+	}
+}
+
 // TestPhaseReportsJudgePerPhase checks the per-phase guard rows: each
 // "/phase=" row shared with the baseline gets its own verdict, a phase
 // whose p95 or error-rate blew past the thresholds is marked regressed,

@@ -223,7 +223,7 @@ func main() {
 				}
 				hi := rt.Boundaries[t][s]
 				sorted := rt.Pre.Sorted[t]
-				scaled = append(scaled, &serving.AutoscaledShard{
+				entry := &serving.AutoscaledShard{
 					Name:   fmt.Sprintf("%s-e%d-t%d-s%d", name, rt.Epoch, t, s),
 					Model:  name,
 					Pool:   rt.Pools[t][s],
@@ -232,7 +232,15 @@ func main() {
 						return serving.NewEmbeddingShard(t, s, sorted, lo, hi)
 					},
 					MaxReplicas: 6,
-				})
+				}
+				// The hottest shard scales on its pull queue's measured
+				// pressure instead of offered QPS: depth EWMA above one
+				// queued gather per replica adds a replica inside the live
+				// epoch, no repartition needed.
+				if s == 0 {
+					entry.Queue = &serving.QueuePolicy{HighDepth: 1, LowDepth: 0.05, Cooldown: 2 * time.Second}
+				}
+				scaled = append(scaled, entry)
 			}
 		}
 		return scaled
@@ -372,6 +380,13 @@ func main() {
 			fmt.Printf("model %q epoch %d table0 shard %d: replicas=%d utility=%.1f%% P95=%v\n",
 				st.Model, rt.Epoch, s+1, rt.Pools[0][s].Size(), 100*rt.Utility(0, s),
 				rt.Shards[0][s].Latency.Quantile(0.95).Round(time.Microsecond))
+		}
+		// The admin status carries every live shard's pull-queue pressure:
+		// the same depth/service EWMAs the queue-depth autoscaler scales on.
+		for _, q := range st.Queues {
+			fmt.Printf("model %q queue t%d/s%d: replicas=%d workers=%d depth=%d/%d depth-ewma=%.2f service-ewma=%v enqueued=%d rejected=%d\n",
+				st.Model, q.Table, q.Shard, q.Replicas, q.Workers, q.Depth, q.Capacity,
+				q.DepthEWMA, q.ServiceEWMA.Round(time.Microsecond), q.Enqueued, q.Rejected)
 		}
 		for _, label := range ld.EpochUtility.Labels() {
 			if val, ok := ld.EpochUtility.Value(label); ok {

@@ -67,6 +67,10 @@ type ModelResult struct {
 	Metrics  Metrics
 	Deployed bool
 	Status   serving.ModelStatus
+	// ReplicasAdded/Removed tally the model's queue-depth autoscaler
+	// actions over the run (0 without an autoscale block).
+	ReplicasAdded   int64
+	ReplicasRemoved int64
 }
 
 // Result is one scenario run's full measurement.
@@ -131,6 +135,20 @@ func (r *Result) Rows() []benchio.Row {
 			mrow.Extra["pre_cache_hits"] = float64(st.Counters.PreCacheHits)
 			mrow.Extra["shards_built"] = float64(st.Counters.ShardsBuilt)
 			mrow.Extra["shards_reused"] = float64(st.Counters.ShardsReused)
+			// Queue-depth autoscaling: scale actions (always emitted for a
+			// deployed model so scenarioguard can gate on the floor) plus
+			// the pull queues' end-of-run pressure counters.
+			mrow.Extra["replicas_added"] = float64(mr.ReplicasAdded)
+			mrow.Extra["replicas_removed"] = float64(mr.ReplicasRemoved)
+			var rejected int64
+			var replicas int
+			for _, q := range st.Queues {
+				rejected += q.Rejected
+				replicas += q.Replicas
+			}
+			mrow.Extra["queue_rejected"] = float64(rejected)
+			mrow.Extra["queue_shards"] = float64(len(st.Queues))
+			mrow.Extra["queue_replicas"] = float64(replicas)
 		}
 		rows = append(rows, mrow)
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/embedding"
@@ -110,6 +111,19 @@ func Run(spec *Spec, opts Options) (*Result, error) {
 	defer admin.Close()
 	r.frontend, r.admin = frontend, admin
 
+	// Variants with an autoscale block each get their own queue-depth
+	// control loop over their live shard pools; the loops start when the
+	// drive loop starts (so scale events are timestamped against run
+	// start) and are rewired after any event that changes the epoch.
+	for _, v := range r.variants {
+		if a := v.spec.Autoscale; a != nil {
+			v.scaler = &serving.LiveAutoscaler{Interval: a.Interval.D(), OnScale: r.onScale}
+			if v.active {
+				r.wireAutoscale(v)
+			}
+		}
+	}
+
 	if err := r.drive(); err != nil {
 		return nil, err
 	}
@@ -129,6 +143,11 @@ type variant struct {
 	// inflight tracks this variant's issued-but-unfinished requests so an
 	// undeploy event can drain them before unregistering the name.
 	inflight sync.WaitGroup
+	// scaler is the variant's queue-depth autoscaler (nil without an
+	// Autoscale block); replicasAdded/Removed tally its scale actions.
+	scaler          *serving.LiveAutoscaler
+	replicasAdded   atomic.Int64
+	replicasRemoved atomic.Int64
 
 	driftFired  bool          // one-shot Drift.At applied
 	nextDriftAt time.Duration // next Drift.Every firing
@@ -279,7 +298,87 @@ type runner struct {
 	replan   func([]*embedding.AccessStats) ([]int64, error)
 
 	collector *collector
-	events    []EventRecord
+	// start anchors event timestamps; written once before any autoscaler
+	// loop starts. eventsMu guards events: the arrival loop and the
+	// autoscaler OnScale callbacks both append.
+	start    time.Time
+	eventsMu sync.Mutex
+	events   []EventRecord
+}
+
+// onScale is the autoscaler callback: tally the variant's scale action and
+// put it on the event log like any timeline event (called from the
+// control-loop goroutine).
+func (r *runner) onScale(s *serving.AutoscaledShard, from, to int) {
+	v := r.byName[s.Model]
+	if v == nil {
+		return
+	}
+	var detail string
+	if to > from {
+		v.replicasAdded.Add(1)
+		detail = fmt.Sprintf("%s scaled out %d -> %d replicas on queue depth", s.Name, from, to)
+	} else {
+		v.replicasRemoved.Add(1)
+		detail = fmt.Sprintf("%s scaled in %d -> %d replicas on queue depth", s.Name, from, to)
+	}
+	r.record(time.Since(r.start), ActionScale, s.Model, detail)
+}
+
+// wireAutoscale points the variant's control loop at its current epoch's
+// shard pools: one AutoscaledShard per (table, shard), each with the
+// spec's queue policy and a Spawn that serves the same sorted row range
+// in-process. Called at start and again after any epoch-changing event
+// (deploy, repartition), so scaling always targets the live pools.
+func (r *runner) wireAutoscale(v *variant) {
+	if v.scaler == nil {
+		return
+	}
+	ld, ok := r.md.Deployment(v.spec.Name)
+	if !ok {
+		return
+	}
+	rt := ld.Table()
+	if rt == nil || rt.Pre == nil {
+		return
+	}
+	a := v.spec.Autoscale
+	var shards []*serving.AutoscaledShard
+	for t := 0; t < len(rt.Boundaries); t++ {
+		for s := 0; s < rt.NumShards(t); s++ {
+			t, s := t, s
+			lo := int64(0)
+			if s > 0 {
+				lo = rt.Boundaries[t][s-1]
+			}
+			hi := rt.Boundaries[t][s]
+			sorted := rt.Pre.Sorted[t]
+			shards = append(shards, &serving.AutoscaledShard{
+				Name:  fmt.Sprintf("%s-e%d-t%d-s%d", v.spec.Name, rt.Epoch, t, s),
+				Model: v.spec.Name,
+				Pool:  rt.Pools[t][s],
+				Queue: &serving.QueuePolicy{
+					HighDepth: a.HighDepth,
+					LowDepth:  a.LowDepth,
+					Cooldown:  a.Cooldown.D(),
+				},
+				MaxReplicas: a.MaxReplicas,
+				Spawn: func() (serving.GatherClient, error) {
+					return serving.NewEmbeddingShard(t, s, sorted, lo, hi)
+				},
+			})
+		}
+	}
+	v.scaler.SetModelShards(v.spec.Name, shards...)
+}
+
+// stopScalers halts every variant's autoscaler loop (idempotent).
+func (r *runner) stopScalers() {
+	for _, v := range r.variants {
+		if v.scaler != nil {
+			v.scaler.Stop()
+		}
+	}
 }
 
 // drive runs the arrival loop: precompute the Poisson schedule, then for
@@ -315,6 +414,13 @@ func (r *runner) drive() error {
 	nextEvent := 0
 
 	start := time.Now()
+	r.start = start
+	for _, v := range r.variants {
+		if v.scaler != nil {
+			v.scaler.Start()
+		}
+	}
+	defer r.stopScalers()
 	var wg sync.WaitGroup
 	for _, at := range schedule {
 		time.Sleep(time.Until(start.Add(at)))
@@ -417,12 +523,18 @@ func (r *runner) applyDrift(at time.Duration) {
 	}
 }
 
-// record appends one applied event to the run log.
-func (r *runner) record(at time.Duration, action, mdl, detail string) *EventRecord {
-	r.events = append(r.events, EventRecord{At: at, Action: action, Model: mdl, Detail: detail, Epoch: -1})
-	rec := &r.events[len(r.events)-1]
+// record appends one applied event to the run log. Safe for concurrent
+// use: the arrival loop and the autoscaler callbacks both record.
+func (r *runner) record(at time.Duration, action, mdl, detail string) {
+	r.recordEpoch(at, action, mdl, detail, -1)
+}
+
+// recordEpoch is record with an epoch annotation (deploy/repartition).
+func (r *runner) recordEpoch(at time.Duration, action, mdl, detail string, epoch int64) {
+	r.eventsMu.Lock()
+	r.events = append(r.events, EventRecord{At: at, Action: action, Model: mdl, Detail: detail, Epoch: epoch})
+	r.eventsMu.Unlock()
 	r.logf("%8v  %s %s: %s", at.Round(time.Millisecond), action, mdl, detail)
-	return rec
 }
 
 // pool resolves a timeline event's (model, table, shard) to the live
@@ -513,8 +625,8 @@ func (r *runner) apply(e *Event) error {
 			return err
 		}
 		v.active = true
-		rec := r.record(at, e.Action, e.Model, fmt.Sprintf("deployed live: epoch %d, %d shards", reply.Epoch, reply.Shards))
-		rec.Epoch = reply.Epoch
+		r.wireAutoscale(v)
+		r.recordEpoch(at, e.Action, e.Model, fmt.Sprintf("deployed live: epoch %d, %d shards", reply.Epoch, reply.Shards), reply.Epoch)
 		return nil
 
 	case ActionUndeploy:
@@ -522,8 +634,13 @@ func (r *runner) apply(e *Event) error {
 		// Out of the rotation first, then drained: new arrivals stop
 		// addressing the name, the variant's in-flight requests complete
 		// (bounded by the request timeout), and only then does the
-		// control plane unregister it.
+		// control plane unregister it. The autoscaler lets go of the
+		// variant's pools before the drain so no scale action races the
+		// teardown.
 		v.active = false
+		if v.scaler != nil {
+			v.scaler.RemoveModelShards(e.Model)
+		}
 		v.inflight.Wait()
 		if _, err := r.admin.Undeploy(context.Background(), e.Model); err != nil {
 			return fmt.Errorf("scenario: undeploy %q: %w", e.Model, err)
@@ -559,9 +676,13 @@ func (r *runner) apply(e *Event) error {
 		if err := r.md.StartProfile(e.Model); err != nil {
 			return err
 		}
+		if v := r.byName[e.Model]; v != nil {
+			// The swap replaced the shard pools; point the control loop
+			// at the new epoch's.
+			r.wireAutoscale(v)
+		}
 		epoch := r.md.Epoch(e.Model)
-		rec := r.record(at, e.Action, e.Model, fmt.Sprintf("zero-downtime swap to epoch %d, boundaries %v", epoch, boundaries))
-		rec.Epoch = epoch
+		r.recordEpoch(at, e.Action, e.Model, fmt.Sprintf("zero-downtime swap to epoch %d, boundaries %v", epoch, boundaries), epoch)
 		return nil
 	}
 	return fmt.Errorf("scenario: unknown action %q", e.Action)
@@ -617,6 +738,10 @@ func (r *runner) result() (*Result, error) {
 		if st, ok := byModel[name]; ok {
 			mr.Deployed = true
 			mr.Status = st
+		}
+		if v := r.byName[name]; v != nil {
+			mr.ReplicasAdded = v.replicasAdded.Load()
+			mr.ReplicasRemoved = v.replicasRemoved.Load()
 		}
 		res.Models = append(res.Models, mr)
 	}

@@ -151,6 +151,86 @@ func TestRunDeployUndeployMidRun(t *testing.T) {
 	}
 }
 
+// TestRunAutoscaleAddsReplicas drives an overloaded hot shard — a
+// slow-shard fault cuts its lone replica's service rate below the offered
+// rate — and checks the queue-depth autoscaler reacts within the run: at
+// least one replica added, the scale event in the log, per-shard queue
+// stats in the admin status, and no request ever failing or repartitioning
+// along the way (scale-out happens inside the live epoch).
+func TestRunAutoscaleAddsReplicas(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a live deployment")
+	}
+	spec := tinySpec()
+	spec.Name = "autoscale"
+	spec.Duration = Duration(1500 * time.Millisecond)
+	spec.Models[0].Tables = 1
+	spec.Models[0].Autoscale = &Autoscale{
+		Interval:    Duration(25 * time.Millisecond),
+		HighDepth:   0.5,
+		LowDepth:    0, // never scale in: a drained queue after the burst must not flap
+		Cooldown:    Duration(100 * time.Millisecond),
+		MaxReplicas: 3,
+	}
+	// 40ms per gather caps one replica's 4 pull workers at ~100/s, below
+	// the 120 QPS offered: the hot shard's queue must grow until the
+	// autoscaler adds capacity.
+	spec.Timeline = []Event{
+		{At: 0, Action: ActionSlowShard, Model: "rm1", Table: 0, Shard: 0, Delay: Duration(40 * time.Millisecond)},
+	}
+	res, err := Run(spec, Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Total.Requests == 0 {
+		t.Fatal("no requests measured")
+	}
+	if res.Total.Errors != 0 {
+		t.Fatalf("autoscale run leaked %d/%d failures", res.Total.Errors, res.Total.Requests)
+	}
+	var mr *ModelResult
+	for i := range res.Models {
+		if res.Models[i].Model == "rm1" {
+			mr = &res.Models[i]
+		}
+	}
+	if mr == nil || !mr.Deployed {
+		t.Fatalf("rm1 missing or undeployed: %+v", res.Models)
+	}
+	if mr.ReplicasAdded < 1 {
+		t.Fatalf("autoscaler added %d replicas under overload, want >= 1", mr.ReplicasAdded)
+	}
+	if len(mr.Status.Queues) == 0 {
+		t.Fatal("admin status reports no per-shard queue stats")
+	}
+	var grew bool
+	for _, q := range mr.Status.Queues {
+		if q.Capacity <= 0 || q.Workers <= 0 {
+			t.Fatalf("degenerate queue stats: %+v", q)
+		}
+		if q.Replicas > 1 {
+			grew = true
+		}
+	}
+	if !grew {
+		t.Fatalf("no shard ended with >1 replicas: %+v", mr.Status.Queues)
+	}
+	var scales int
+	for _, e := range res.Events {
+		if e.Action == ActionScale {
+			scales++
+		}
+	}
+	if int64(scales) != mr.ReplicasAdded+mr.ReplicasRemoved {
+		t.Fatalf("event log has %d scale events, counters say %d",
+			scales, mr.ReplicasAdded+mr.ReplicasRemoved)
+	}
+	// Scale-out happened inside the live epoch: no plan swap.
+	if mr.Status.Swaps != 0 {
+		t.Fatalf("autoscale run repartitioned %d times, want 0", mr.Status.Swaps)
+	}
+}
+
 func TestResultRowsSchema(t *testing.T) {
 	res := &Result{
 		Name: "rows",

@@ -118,8 +118,28 @@ type ModelSpec struct {
 	Batching *Batching `json:"batching"`
 	// Drift, when set, migrates the variant's hot set during the run.
 	Drift *Drift `json:"drift"`
+	// Autoscale, when set, runs the queue-depth autoscaler over the
+	// variant's shard pools: replicas are added/removed from pull-queue
+	// pressure alone, within the serving epoch, without a repartition.
+	Autoscale *Autoscale `json:"autoscale"`
 	// Deferred defines the variant without deploying it at start.
 	Deferred bool `json:"deferred"`
+}
+
+// Autoscale configures a variant's queue-depth replica autoscaler (the
+// declarative face of serving.QueuePolicy + LiveAutoscaler).
+type Autoscale struct {
+	// Interval is the control-loop tick (default 1s).
+	Interval Duration `json:"interval"`
+	// HighDepth scales a shard out when its per-replica queue-depth EWMA
+	// exceeds it; LowDepth scales in below it (LowDepth < HighDepth is the
+	// hysteresis band).
+	HighDepth float64 `json:"high_depth"`
+	LowDepth  float64 `json:"low_depth"`
+	// Cooldown is the minimum time between scale actions on one shard.
+	Cooldown Duration `json:"cooldown"`
+	// MaxReplicas caps each shard's scale-out (0 = unlimited).
+	MaxReplicas int `json:"max_replicas"`
 }
 
 // Batching configures a variant's dynamic batcher.
@@ -186,6 +206,10 @@ const (
 	// closes the current phase and opens one named Label. An at-0 phase
 	// event names the first phase.
 	ActionPhase = "phase"
+	// ActionScale is recorded (never scheduled) when a model's queue-depth
+	// autoscaler adds or removes a shard replica during the run; it is not
+	// a valid timeline action.
+	ActionScale = "scale"
 )
 
 // Event is one timeline entry. At is relative to run start; fields beyond
@@ -321,6 +345,20 @@ func (s *Spec) Validate() error {
 				return fmt.Errorf("scenario %s: model %q: drift needs at or every", s.Name, m.Name)
 			}
 		}
+		if a := m.Autoscale; a != nil {
+			if a.HighDepth <= 0 {
+				return fmt.Errorf("scenario %s: model %q: autoscale high_depth must be positive", s.Name, m.Name)
+			}
+			if a.LowDepth < 0 || a.LowDepth >= a.HighDepth {
+				return fmt.Errorf("scenario %s: model %q: autoscale low_depth must be in [0, high_depth)", s.Name, m.Name)
+			}
+			if a.Interval < 0 || a.Cooldown < 0 {
+				return fmt.Errorf("scenario %s: model %q: autoscale times must not be negative", s.Name, m.Name)
+			}
+			if a.MaxReplicas < 0 {
+				return fmt.Errorf("scenario %s: model %q: autoscale max_replicas must not be negative", s.Name, m.Name)
+			}
+		}
 		if !m.Deferred {
 			active++
 		}
@@ -397,6 +435,12 @@ func (s *Spec) Scale(f float64) *Spec {
 			scaled.At = scale(d.At)
 			scaled.Every = scale(d.Every)
 			out.Models[i].Drift = &scaled
+		}
+		if a := out.Models[i].Autoscale; a != nil {
+			scaled := *a
+			scaled.Interval = scale(a.Interval)
+			scaled.Cooldown = scale(a.Cooldown)
+			out.Models[i].Autoscale = &scaled
 		}
 	}
 	out.Timeline = append([]Event(nil), s.Timeline...)

@@ -3,6 +3,7 @@ package serving
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/embedding"
@@ -73,6 +74,26 @@ type ModelStatus struct {
 	// including the plan cache's occupancy (CachedSortedBytes is the
 	// bytes of cached sorted tables this variant pins).
 	Counters BuildCounters
+	// Queues is the per-shard pull-queue pressure of the current epoch
+	// (one entry per replica pool) — the signal the queue-depth
+	// autoscaler scales on, surfaced so operators can see a hot shard
+	// building backlog before it sheds. Added fields ride the versioned
+	// gob admin RPC without a version bump (absent on old peers).
+	Queues []ShardQueueStatus
+}
+
+// ShardQueueStatus is one shard's pull-queue snapshot inside ModelStatus.
+type ShardQueueStatus struct {
+	// Table and Shard locate the pool in the current epoch's plan.
+	Table, Shard int
+	// Replicas/Live/Workers describe who is pulling; Depth/Capacity the
+	// bounded queue; DepthEWMA/ServiceEWMA the smoothed autoscaling
+	// signals; Enqueued/Rejected the lifetime admission counters.
+	Replicas, Live, Workers int
+	Depth, Capacity         int
+	DepthEWMA               float64
+	ServiceEWMA             time.Duration
+	Enqueued, Rejected      int64
 }
 
 // Bind attaches an autoscaler binding and wires every currently served
@@ -238,6 +259,21 @@ func (c *Controller) modelStatus(s *modelSet, name string) (ModelStatus, bool) {
 		st.Shards = rt.NumShards(0)
 		st.Served = rt.Served.Value()
 		st.UtilitySkew = rt.UtilitySkew()
+		for t, pools := range rt.Pools {
+			for sh, pool := range pools {
+				if pool == nil {
+					continue
+				}
+				q := pool.QueueStats()
+				st.Queues = append(st.Queues, ShardQueueStatus{
+					Table: t, Shard: sh,
+					Replicas: q.Replicas, Live: q.LiveReplicas, Workers: q.Workers,
+					Depth: q.Depth, Capacity: q.Capacity,
+					DepthEWMA: q.DepthEWMA, ServiceEWMA: q.ServiceEWMA,
+					Enqueued: q.Enqueued, Rejected: q.Rejected,
+				})
+			}
+		}
 	}
 	return st, true
 }

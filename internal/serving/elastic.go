@@ -313,8 +313,11 @@ func (ld *LiveDeployment) buildTable(epoch int64, stats []*embedding.AccessStats
 }
 
 // buildShardUnit spins up one shard's service bundle: the embedding-shard
-// service over the sorted rows [lo, hi) of table t, a replica pool at the
-// configured initial replica count, and one transport per replica.
+// service over the sorted rows [lo, hi) of table t, a pull-based replica
+// pool at the configured initial replica count, and one transport per
+// replica. Each replica added to the pool starts its own pull workers, so
+// the unit's teardown must Close the pool (stopping workers the autoscaler
+// may have added mid-epoch) before releasing the transports they call.
 func (ld *LiveDeployment) buildShardUnit(epoch int64, t, s int, pre *Preprocessed, lo, hi int64) (*shardUnit, error) {
 	svc, err := NewEmbeddingShard(t, s, pre.Sorted[t], lo, hi)
 	if err != nil {

@@ -16,7 +16,9 @@ import (
 // EmbeddingShard is one sparse-shard microservice instance: it owns a
 // contiguous hotness-sorted row range of one table and services bucketized
 // gather-and-pool requests for it. Safe for concurrent use — gathers are
-// read-only over the shard's rows.
+// read-only over the shard's rows, which is what lets a ReplicaPool drive
+// one shard from several pull workers at once (and lets the queue-depth
+// autoscaler spawn an extra in-process replica over the same sorted rows).
 type EmbeddingShard struct {
 	TableIndex int
 	ShardIndex int

@@ -4,22 +4,24 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/embedding"
 )
 
-// flakyClient fails the first failures calls, then delegates.
+// flakyClient fails the first failures calls, then delegates. Calls is
+// atomic because a pull pool's workers may drive one replica concurrently.
 type flakyClient struct {
-	failures int
-	calls    int
+	failures int64
+	calls    atomic.Int64
 	inner    GatherClient
 }
 
 func (f *flakyClient) Gather(ctx context.Context, req *GatherRequest, reply *GatherReply) error {
-	f.calls++
-	if f.calls <= f.failures {
-		return fmt.Errorf("flaky: injected failure %d", f.calls)
+	if n := f.calls.Add(1); n <= f.failures {
+		return fmt.Errorf("flaky: injected failure %d", n)
 	}
 	return f.inner.Gather(ctx, req, reply)
 }
@@ -118,10 +120,10 @@ func TestReplicaPoolTransientFailureRecovers(t *testing.T) {
 }
 
 // failingPredict always errors; healthyPredict echoes one probability.
-type failingPredict struct{ calls int }
+type failingPredict struct{ calls atomic.Int64 }
 
 func (f *failingPredict) Predict(ctx context.Context, req *PredictRequest, reply *PredictReply) error {
-	f.calls++
+	f.calls.Add(1)
 	reply.Probs = []float32{-1} // partial garbage a retry must not keep
 	return fmt.Errorf("predict replica down")
 }
@@ -133,31 +135,94 @@ func (healthyPredict) Predict(ctx context.Context, req *PredictRequest, reply *P
 	return nil
 }
 
-// TestPredictPoolFailsOver gives PredictPool the same one-retry failover
-// contract ReplicaPool has: a dead dense replica in rotation must not fail
-// callers while a healthy one remains, and the reply must be reset
-// between attempts.
+// TestPredictPoolFailsOver gives PredictPool the same failover contract
+// ReplicaPool has: a dead dense replica's workers must not fail callers
+// while a healthy replica remains, and the reply must be reset between
+// attempts.
 func TestPredictPoolFailsOver(t *testing.T) {
 	dead := &failingPredict{}
 	pool := NewPredictPool(dead, healthyPredict{})
 	req := &PredictRequest{BatchSize: 1, DenseDim: 1, Dense: []float32{0}}
-	for i := 0; i < 6; i++ {
-		var reply PredictReply
-		if err := pool.Predict(bg, req, &reply); err != nil {
-			t.Fatalf("call %d: %v", i, err)
-		}
-		if len(reply.Probs) != 1 || reply.Probs[0] != 0.5 {
-			t.Fatalf("call %d: failover leaked a failed attempt's reply: %+v", i, reply)
-		}
+	// Pull model: whichever idle worker claims a task serves it, so drive
+	// a concurrent burst — the backlog forces every worker (the dead
+	// replica's included) to pull, and each failed attempt must fail over
+	// with a reset reply.
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var reply PredictReply
+			if err := pool.Predict(bg, req, &reply); err != nil {
+				t.Errorf("call %d: %v", i, err)
+				return
+			}
+			if len(reply.Probs) != 1 || reply.Probs[0] != 0.5 {
+				t.Errorf("call %d: failover leaked a failed attempt's reply: %+v", i, reply)
+			}
+		}()
 	}
-	if dead.calls == 0 {
-		t.Fatal("round robin never touched the dead replica")
+	wg.Wait()
+	if dead.calls.Load() == 0 {
+		t.Fatal("the dead replica's workers never pulled a predict")
 	}
 	allDead := NewPredictPool(&failingPredict{}, &failingPredict{})
 	var reply PredictReply
 	if err := allDead.Predict(bg, req, &reply); err == nil ||
 		!strings.Contains(err.Error(), "all 2 predict replicas failed") {
 		t.Fatalf("want all-replicas-failed error, got %v", err)
+	}
+}
+
+// corruptingPredict scribbles garbage into the reply, then fails — the
+// dense-path twin of corruptingClient.
+type corruptingPredict struct{ calls atomic.Int64 }
+
+func (c *corruptingPredict) Predict(ctx context.Context, req *PredictRequest, reply *PredictReply) error {
+	c.calls.Add(1)
+	reply.Probs = append(reply.Probs, 1e9, 1e9, 1e9)
+	return fmt.Errorf("corrupting: died mid-reply")
+}
+
+// appendingPredict appends its answer instead of assigning — legitimate
+// under the pool contract (every attempt starts from a zeroed reply), and
+// exactly the behavior that exposes a missing reset: leaked garbage from a
+// failed attempt shows up as extra elements.
+type appendingPredict struct{}
+
+func (appendingPredict) Predict(ctx context.Context, req *PredictRequest, reply *PredictReply) error {
+	reply.Probs = append(reply.Probs, 0.5)
+	return nil
+}
+
+// TestPredictPoolFailoverResetsReply is the predict-path regression test
+// for the reply-reuse bug: both pools now share the pull-pool failover,
+// which must zero the caller's reply before every retry, so a corrupted
+// first attempt can never bleed into the healthy replica's answer.
+func TestPredictPoolFailoverResetsReply(t *testing.T) {
+	corrupt := &corruptingPredict{}
+	pool := NewPredictPool(corrupt, appendingPredict{})
+	req := &PredictRequest{BatchSize: 1, DenseDim: 1, Dense: []float32{0}}
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var reply PredictReply
+			if err := pool.Predict(bg, req, &reply); err != nil {
+				t.Errorf("call %d: %v", i, err)
+				return
+			}
+			if len(reply.Probs) != 1 || reply.Probs[0] != 0.5 {
+				t.Errorf("call %d: corrupted attempt leaked through failover: %+v", i, reply)
+			}
+		}()
+	}
+	wg.Wait()
+	if corrupt.calls.Load() == 0 {
+		t.Fatal("the corrupting replica's workers never pulled a predict")
 	}
 }
 

@@ -55,9 +55,16 @@ func (u *shardUnit) release() {
 	u.teardown()
 }
 
-// teardown closes the unit's transports (RPC clients, then servers). Also
-// called directly on a build that failed before the unit was ever retained.
+// teardown drains the unit's pull pool, then closes its transports (RPC
+// clients, then servers). The pool closes first so every replica worker —
+// including workers spawned by within-epoch autoscaling, which can outlive
+// the epoch that created the unit — exits before the connections it
+// dispatches on drop. Also called directly on a build that failed before
+// the unit was ever retained.
 func (u *shardUnit) teardown() {
+	if u.pool != nil {
+		u.pool.Close()
+	}
 	for _, c := range u.closers {
 		_ = c.Close()
 	}

@@ -2,6 +2,7 @@ package serving
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -11,250 +12,734 @@ import (
 	"repro/internal/embedding"
 )
 
-// ReplicaPool load-balances gather calls across replica clients in round
-// robin — the role Linkerd plays in the paper's deployment. Replicas can
-// be added and removed at runtime, which is how the live autoscaler scales
-// a shard's microservice in and out.
+// This file is the pull-based shard worker pool. Where the original
+// ReplicaPool pushed each gather at a round-robined replica, the pool now
+// inverts the flow: callers enqueue work onto a bounded per-shard queue
+// and replica workers pull from it — Gather/Predict is enqueue + wait, the
+// workers own the actual RPC call, and replica membership (autoscaling,
+// fault injection) is a property of who is pulling, not of who was pushed
+// at. The inversion is what lets the autoscaler size a shard's replica set
+// from queue pressure (depth + service-time EWMAs, see QueueStats and
+// QueuePolicy) inside a swap epoch, instead of waiting for a repartition.
 //
-// The pool also carries the serving layer's fault-injection hooks, used by
-// the scenario harness (internal/scenario) to rehearse failures against a
-// live deployment: KillReplica marks one replica dead — calls round-robined
-// onto it fail like a crashed pod and the request-level failover retries
-// the survivors — and InjectDelay slows every gather through the pool by a
-// fixed latency, modeling a degraded node.
-type ReplicaPool struct {
-	mu       sync.RWMutex
-	replicas []GatherClient
-	dead     []bool // dead[i]: replica i is fault-injected down
-	next     atomic.Uint64
-	delay    atomic.Int64 // injected per-gather latency, nanoseconds
+// Memory-safety contract: the dense shard recycles a gather's request and
+// reply scratch immediately after the call returns, so a worker must NEVER
+// touch a task's req/reply once the caller's enqueue-and-wait has
+// returned. The task state machine enforces it: a caller whose context
+// expires abandons the task with a pending→abandoned CAS and only then
+// returns; a worker claims a task with a pending→running CAS and drops
+// abandoned tasks without reading them; once a task is running, the caller
+// waits for the worker's completion no matter what.
+
+// Typed queue errors. Callers (and the failover path) detect them with
+// errors.Is; everything the pool returns wraps one of these or a replica's
+// own error.
+var (
+	// ErrQueueFull is the backpressure signal: the shard's bounded work
+	// queue is at capacity and the enqueue was rejected immediately,
+	// before the caller's deadline could blow. Admission layers shed on
+	// it; the scenario collector counts it as a failed request.
+	ErrQueueFull = errors.New("serving: shard queue full")
+	// ErrPoolClosed marks work rejected because the pool's epoch closed
+	// (shard unit teardown drains workers to zero before transports drop).
+	ErrPoolClosed = errors.New("serving: pool is closed")
+)
+
+// Pull-pool sizing defaults (see PoolOptions).
+const (
+	// DefaultQueueCapacity bounds each shard's work queue. Deep enough to
+	// absorb a flash-crowd burst while the autoscaler reacts; shallow
+	// enough that a wedged shard rejects new work in O(queue/service)
+	// time instead of queueing until every deadline blows.
+	DefaultQueueCapacity = 256
+	// DefaultWorkersPerReplica is how many pull workers service one
+	// replica concurrently — >1 so a pipelined TCP replica keeps multiple
+	// gathers in flight, matching the push model's caller concurrency.
+	DefaultWorkersPerReplica = 4
+
+	// ewmaAlpha smooths the depth/service-time signals the queue
+	// autoscaler policy reads.
+	ewmaAlpha = 0.2
+	// handoffBackoff is the pause a worker takes after re-enqueueing a
+	// task its own replica already failed, so it doesn't spin while the
+	// surviving replicas' workers are busy.
+	handoffBackoff = 100 * time.Microsecond
+)
+
+// PoolOptions sizes a pull pool.
+type PoolOptions struct {
+	// QueueCapacity bounds the per-shard work queue (0 selects
+	// DefaultQueueCapacity). Enqueues beyond it fail with ErrQueueFull.
+	QueueCapacity int
+	// WorkersPerReplica is the number of pull workers per replica (0
+	// selects DefaultWorkersPerReplica).
+	WorkersPerReplica int
 }
 
-// NewReplicaPool creates a pool over the given replicas.
-func NewReplicaPool(replicas ...GatherClient) *ReplicaPool {
-	p := &ReplicaPool{}
-	p.replicas = append(p.replicas, replicas...)
+// QueueStats is a pull pool's pressure snapshot — the autoscaler's raw
+// signal, also surfaced per shard through Admin.Status.
+type QueueStats struct {
+	// Depth is the instantaneous queue length; Capacity its bound.
+	Depth    int
+	Capacity int
+	// DepthEWMA smooths Depth over recent enqueues; ServiceEWMA smooths
+	// successful dispatch latency. DepthEWMA/Replicas vs QueuePolicy's
+	// thresholds is the scale decision.
+	DepthEWMA   float64
+	ServiceEWMA time.Duration
+	// Replicas / LiveReplicas / Workers describe who is pulling.
+	Replicas     int
+	LiveReplicas int
+	Workers      int
+	// Enqueued / Rejected count lifetime admissions and ErrQueueFull
+	// rejections.
+	Enqueued int64
+	Rejected int64
+}
+
+// Task states: a caller abandons only while pending; a worker serves only
+// after winning the pending→running claim.
+const (
+	taskPending int32 = iota
+	taskRunning
+	taskAbandoned
+)
+
+// pullTask is one enqueued call. Tasks are recycled through a sync.Pool:
+// exactly one party recycles each task — the caller after receiving its
+// done signal, or a worker that dequeues an abandoned one.
+type pullTask[Req, Reply any] struct {
+	ctx   context.Context
+	req   *Req
+	reply *Reply
+	state atomic.Int32
+	done  chan error // buffered 1; empty whenever the task is recycled
+
+	attemptedBy []int // replica ids that already failed this task
+	attempts    int
+	lastErr     error
+}
+
+// tried reports whether replica id already failed this task.
+func (t *pullTask[Req, Reply]) tried(id int) bool {
+	for _, v := range t.attemptedBy {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// poolReplica is one pulling replica: a client plus the fault-injection
+// dead flag and the stop signal its workers watch.
+type poolReplica[C any] struct {
+	id     int
+	client C
+	dead   atomic.Bool
+	stop   chan struct{}
+	once   sync.Once
+}
+
+// halt stops the replica's workers (idempotent).
+func (r *poolReplica[C]) halt() { r.once.Do(func() { close(r.stop) }) }
+
+// pullPool is the shared pull implementation behind ReplicaPool and
+// PredictPool: one bounded queue, per-replica worker sets, request-level
+// failover across replicas, fault hooks in the worker loop.
+type pullPool[C, Req, Reply any] struct {
+	call     func(C, context.Context, *Req, *Reply) error
+	scope    string // error prefix, e.g. "serving: replica pool"
+	emptyErr string // exact empty-pool error text (API compatibility)
+	failFmt  string // exact all-replicas-failed format (count, wrapped err)
+
+	queue             chan *pullTask[Req, Reply]
+	workersPerReplica int
+
+	mu       sync.RWMutex // guards replicas, closed, nextID; enqueue holds RLock
+	replicas []*poolReplica[C]
+	closed   bool
+	nextID   int
+
+	wg      sync.WaitGroup
+	workers atomic.Int64
+
+	delay atomic.Int64 // injected per-call latency, nanoseconds
+
+	depth    atomic.Int64
+	enqueued atomic.Int64
+	rejected atomic.Int64
+
+	statsMu     sync.Mutex
+	depthEWMA   float64
+	serviceEWMA float64 // nanoseconds
+
+	tasks sync.Pool
+}
+
+// newPullPool builds an empty pool; replicas arrive through add.
+func newPullPool[C, Req, Reply any](scope, emptyErr, failFmt string,
+	call func(C, context.Context, *Req, *Reply) error, opts PoolOptions) *pullPool[C, Req, Reply] {
+	capacity := opts.QueueCapacity
+	if capacity <= 0 {
+		capacity = DefaultQueueCapacity
+	}
+	workers := opts.WorkersPerReplica
+	if workers <= 0 {
+		workers = DefaultWorkersPerReplica
+	}
+	p := &pullPool[C, Req, Reply]{
+		call:              call,
+		scope:             scope,
+		emptyErr:          emptyErr,
+		failFmt:           failFmt,
+		queue:             make(chan *pullTask[Req, Reply], capacity),
+		workersPerReplica: workers,
+	}
+	p.tasks.New = func() any {
+		return &pullTask[Req, Reply]{done: make(chan error, 1)}
+	}
 	return p
 }
 
-// Gather dispatches to the next replica (round robin). On failure it
-// retries the remaining replicas once each — the request-level failover a
-// service mesh performs when a pod dies mid-flight — and returns the last
-// error only if every replica fails. A canceled context stops the
-// failover loop immediately.
-func (p *ReplicaPool) Gather(ctx context.Context, req *GatherRequest, reply *GatherReply) error {
-	p.mu.RLock()
-	n := len(p.replicas)
-	if n == 0 {
-		p.mu.RUnlock()
-		return fmt.Errorf("serving: replica pool is empty")
-	}
-	replicas := make([]GatherClient, n)
-	copy(replicas, p.replicas)
-	dead := make([]bool, n)
-	copy(dead, p.dead)
-	p.mu.RUnlock()
+// getTask readies a recycled (or fresh) task for one call.
+func (p *pullPool[C, Req, Reply]) getTask(ctx context.Context, req *Req, reply *Reply) *pullTask[Req, Reply] {
+	t := p.tasks.Get().(*pullTask[Req, Reply])
+	t.ctx, t.req, t.reply = ctx, req, reply
+	t.state.Store(taskPending)
+	t.attemptedBy = t.attemptedBy[:0]
+	t.attempts = 0
+	t.lastErr = nil
+	return t
+}
 
-	if delay := time.Duration(p.delay.Load()); delay > 0 {
-		// Injected shard slowness (scenario fault hook): one fixed stall
-		// per gather, bounded by the caller's deadline.
-		t := time.NewTimer(delay)
-		select {
-		case <-t.C:
-		case <-ctx.Done():
-			t.Stop()
+// putTask recycles a task. The caller must hold exclusive ownership and
+// the done channel must be empty.
+func (p *pullPool[C, Req, Reply]) putTask(t *pullTask[Req, Reply]) {
+	t.ctx, t.req, t.reply, t.lastErr = nil, nil, nil, nil
+	p.tasks.Put(t)
+}
+
+// do is the caller side: enqueue with reject-when-full backpressure, then
+// wait for a worker's completion or abandon on context expiry.
+func (p *pullPool[C, Req, Reply]) do(ctx context.Context, req *Req, reply *Reply) error {
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return fmt.Errorf("%s: %w", p.scope, ErrPoolClosed)
+	}
+	if len(p.replicas) == 0 {
+		p.mu.RUnlock()
+		return errors.New(p.emptyErr)
+	}
+	t := p.getTask(ctx, req, reply)
+	select {
+	case p.queue <- t:
+		d := p.depth.Add(1)
+		p.enqueued.Add(1)
+		p.mu.RUnlock()
+		// Sample the backlog ahead of this task (not counting itself), so
+		// an idle pool's depth EWMA reads 0 and QueuePolicy.HighDepth means
+		// "gathers waiting per replica".
+		p.noteDepth(float64(d - 1))
+	default:
+		p.mu.RUnlock()
+		p.rejected.Add(1)
+		p.putTask(t)
+		return fmt.Errorf("%s: %d calls queued: %w", p.scope, cap(p.queue), ErrQueueFull)
+	}
+
+	select {
+	case err := <-t.done:
+		p.putTask(t)
+		return err
+	case <-ctx.Done():
+		if t.state.CompareAndSwap(taskPending, taskAbandoned) {
+			// Still queued: no worker will ever touch req/reply; the
+			// dequeuing worker recycles the task.
 			return ctx.Err()
 		}
+		// A worker owns it — wait for the completion so req/reply are
+		// never touched after we return.
+		err := <-t.done
+		p.putTask(t)
+		return err
 	}
-
-	start := p.next.Add(1)
-	var lastErr error
-	for attempt := 0; attempt < n; attempt++ {
-		if err := ctx.Err(); err != nil {
-			if lastErr == nil {
-				lastErr = err
-			}
-			break
-		}
-		// A failed attempt may have left partial fields behind; reset so
-		// the next replica's reply is never contaminated by the last one.
-		if attempt > 0 {
-			*reply = GatherReply{}
-		}
-		i := (start + uint64(attempt)) % uint64(n)
-		if dead[i] {
-			// A killed replica behaves like a crashed pod: the dispatch
-			// fails immediately and the loop fails over to the survivors.
-			lastErr = fmt.Errorf("serving: replica %d is down (fault injection)", i)
-			continue
-		}
-		if err := replicas[i].Gather(ctx, req, reply); err != nil {
-			lastErr = err
-			continue
-		}
-		return nil
-	}
-	return fmt.Errorf("serving: all %d replicas failed: %w", n, lastErr)
 }
 
-// Add appends a replica to the rotation.
-func (p *ReplicaPool) Add(c GatherClient) {
-	p.mu.Lock()
-	p.replicas = append(p.replicas, c)
-	if len(p.dead) > 0 {
-		p.dead = append(p.dead, false)
-	}
-	p.mu.Unlock()
-}
-
-// Remove drops the most recently added replica and returns it (nil when
-// the pool would become empty — a shard always keeps one replica).
-func (p *ReplicaPool) Remove() GatherClient {
+// add registers a replica and starts its workers (no-op on a closed pool).
+func (p *pullPool[C, Req, Reply]) add(c C) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if len(p.replicas) <= 1 {
-		return nil
+	if p.closed {
+		return
 	}
-	c := p.replicas[len(p.replicas)-1]
+	rep := &poolReplica[C]{id: p.nextID, client: c, stop: make(chan struct{})}
+	p.nextID++
+	p.replicas = append(p.replicas, rep)
+	p.wg.Add(p.workersPerReplica)
+	p.workers.Add(int64(p.workersPerReplica))
+	for i := 0; i < p.workersPerReplica; i++ {
+		go p.runWorker(rep)
+	}
+}
+
+// remove drops the most recently added replica and stops its workers. A
+// worker mid-call finishes (and delivers) its current task first, so
+// scale-down never loses a gather. Refuses to empty the pool.
+func (p *pullPool[C, Req, Reply]) remove() (C, bool) {
+	var zero C
+	p.mu.Lock()
+	if len(p.replicas) <= 1 {
+		p.mu.Unlock()
+		return zero, false
+	}
+	rep := p.replicas[len(p.replicas)-1]
 	p.replicas = p.replicas[:len(p.replicas)-1]
-	if len(p.dead) > len(p.replicas) {
-		p.dead = p.dead[:len(p.replicas)]
+	p.mu.Unlock()
+	rep.halt()
+	return rep.client, true
+}
+
+// size returns the replica count.
+func (p *pullPool[C, Req, Reply]) size() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.replicas)
+}
+
+// live returns the count of replicas not marked dead by fault injection.
+func (p *pullPool[C, Req, Reply]) live() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	n := 0
+	for _, rep := range p.replicas {
+		if !rep.dead.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// setDead flips replica i's (current slice position) fault-injection flag.
+func (p *pullPool[C, Req, Reply]) setDead(i int, dead bool) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if i < 0 || i >= len(p.replicas) {
+		return false
+	}
+	p.replicas[i].dead.Store(dead)
+	return true
+}
+
+// close rejects further enqueues, stops every worker, waits for them to
+// drain to zero, and fails any still-queued tasks with ErrPoolClosed.
+func (p *pullPool[C, Req, Reply]) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	reps := append([]*poolReplica[C](nil), p.replicas...)
+	p.mu.Unlock()
+	for _, rep := range reps {
+		rep.halt()
+	}
+	p.wg.Wait()
+	for {
+		select {
+		case t := <-p.queue:
+			p.depth.Add(-1)
+			if t.state.CompareAndSwap(taskPending, taskRunning) {
+				t.done <- fmt.Errorf("%s: %w", p.scope, ErrPoolClosed)
+			} else {
+				p.putTask(t) // abandoned; caller already returned
+			}
+		default:
+			return
+		}
+	}
+}
+
+// runWorker is one replica worker: pull, claim, serve, repeat.
+func (p *pullPool[C, Req, Reply]) runWorker(rep *poolReplica[C]) {
+	defer p.wg.Done()
+	defer p.workers.Add(-1)
+	for {
+		select {
+		case <-rep.stop:
+			return
+		default:
+		}
+		select {
+		case <-rep.stop:
+			return
+		case t := <-p.queue:
+			p.depth.Add(-1)
+			if !t.state.CompareAndSwap(taskPending, taskRunning) {
+				p.putTask(t) // abandoned while queued
+				continue
+			}
+			p.serve(rep, t)
+		}
+	}
+}
+
+// serve runs one claimed task on rep: fault hooks first (injected stall,
+// dead replica), then the dispatch, then failover bookkeeping.
+func (p *pullPool[C, Req, Reply]) serve(rep *poolReplica[C], t *pullTask[Req, Reply]) {
+	if t.tried(rep.id) {
+		// This replica already failed the task; hand it back for a
+		// survivor and back off so the hand-off doesn't spin.
+		p.requeue(t)
+		time.Sleep(handoffBackoff)
+		return
+	}
+	if t.attempts == 0 {
+		// Injected shard slowness (scenario fault hook): one fixed stall
+		// per call, bounded by the caller's deadline.
+		if delay := time.Duration(p.delay.Load()); delay > 0 {
+			timer := time.NewTimer(delay)
+			select {
+			case <-timer.C:
+			case <-t.ctx.Done():
+				timer.Stop()
+				t.done <- t.ctx.Err()
+				return
+			}
+		}
+	}
+	if err := t.ctx.Err(); err != nil {
+		t.done <- err
+		return
+	}
+	if rep.dead.Load() {
+		// A killed replica behaves like a crashed pod: the attempt fails
+		// immediately and the task fails over to the survivors.
+		p.fail(t, rep, fmt.Errorf("serving: replica %d is down (fault injection)", rep.id))
+		return
+	}
+	if t.attempts > 0 {
+		// A failed attempt may have left partial fields behind; reset so
+		// this replica's reply is never contaminated by the last one.
+		var zero Reply
+		*t.reply = zero
+	}
+	start := time.Now()
+	if err := p.call(rep.client, t.ctx, t.req, t.reply); err != nil {
+		p.fail(t, rep, err)
+		return
+	}
+	p.noteService(time.Since(start))
+	t.done <- nil
+}
+
+// fail records a failed attempt and either fails the task over to an
+// untried replica or delivers the aggregated error.
+func (p *pullPool[C, Req, Reply]) fail(t *pullTask[Req, Reply], rep *poolReplica[C], err error) {
+	t.lastErr = err
+	t.attemptedBy = append(t.attemptedBy, rep.id)
+	t.attempts++
+	if t.ctx.Err() != nil || !p.hasUntried(t) {
+		t.done <- fmt.Errorf(p.failFmt, len(t.attemptedBy), t.lastErr)
+		return
+	}
+	p.requeue(t)
+}
+
+// hasUntried reports whether any current replica has not yet failed t.
+func (p *pullPool[C, Req, Reply]) hasUntried(t *pullTask[Req, Reply]) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	for _, rep := range p.replicas {
+		if !t.tried(rep.id) {
+			return true
+		}
+	}
+	return false
+}
+
+// requeue puts a running task back on the queue (failover hand-off). If
+// the queue is full the task fails now — backpressure beats unbounded
+// retry buffering.
+func (p *pullPool[C, Req, Reply]) requeue(t *pullTask[Req, Reply]) {
+	t.state.Store(taskPending)
+	select {
+	case p.queue <- t:
+		p.depth.Add(1)
+	default:
+		if t.state.CompareAndSwap(taskPending, taskRunning) {
+			err := t.lastErr
+			if err == nil {
+				err = fmt.Errorf("%s: %d calls queued: %w", p.scope, cap(p.queue), ErrQueueFull)
+			}
+			n := len(t.attemptedBy)
+			if n == 0 {
+				n = 1
+			}
+			t.done <- fmt.Errorf(p.failFmt, n, err)
+		} else {
+			p.putTask(t) // abandoned in the hand-off window
+		}
+	}
+}
+
+// noteDepth folds one enqueue-time queue length into the depth EWMA.
+func (p *pullPool[C, Req, Reply]) noteDepth(d float64) {
+	if d < 0 {
+		d = 0
+	}
+	p.statsMu.Lock()
+	p.depthEWMA += ewmaAlpha * (d - p.depthEWMA)
+	p.statsMu.Unlock()
+}
+
+// noteService folds one successful dispatch latency into the service EWMA.
+func (p *pullPool[C, Req, Reply]) noteService(d time.Duration) {
+	p.statsMu.Lock()
+	p.serviceEWMA += ewmaAlpha * (float64(d) - p.serviceEWMA)
+	p.statsMu.Unlock()
+}
+
+// queueStats snapshots the pool's pressure signals.
+func (p *pullPool[C, Req, Reply]) queueStats() QueueStats {
+	p.mu.RLock()
+	replicas := len(p.replicas)
+	liveReplicas := 0
+	for _, rep := range p.replicas {
+		if !rep.dead.Load() {
+			liveReplicas++
+		}
+	}
+	p.mu.RUnlock()
+	p.statsMu.Lock()
+	depthEWMA, serviceEWMA := p.depthEWMA, p.serviceEWMA
+	p.statsMu.Unlock()
+	depth := p.depth.Load()
+	if depth < 0 {
+		depth = 0
+	}
+	return QueueStats{
+		Depth:        int(depth),
+		Capacity:     cap(p.queue),
+		DepthEWMA:    depthEWMA,
+		ServiceEWMA:  time.Duration(serviceEWMA),
+		Replicas:     replicas,
+		LiveReplicas: liveReplicas,
+		Workers:      int(p.workers.Load()),
+		Enqueued:     p.enqueued.Load(),
+		Rejected:     p.rejected.Load(),
+	}
+}
+
+// ReplicaPool serves one shard's gathers through the pull pool: Gather
+// enqueues onto the shard's bounded queue and waits; the shard's replica
+// workers pull, dispatch and fail over. Replicas can be added and removed
+// at runtime, which is how the live autoscaler scales a shard's
+// microservice in and out — now from queue pressure, within a swap epoch.
+//
+// The pool also carries the serving layer's fault-injection hooks, used by
+// the scenario harness (internal/scenario) to rehearse failures against a
+// live deployment: KillReplica marks one replica dead — its workers fail
+// every task they pull, like a crashed pod, and the request-level failover
+// hands the task to the survivors — and InjectDelay stalls every call
+// through the pool by a fixed latency, modeling a degraded node.
+type ReplicaPool struct {
+	p *pullPool[GatherClient, GatherRequest, GatherReply]
+}
+
+// NewReplicaPool creates a pool over the given replicas with default
+// queue sizing.
+func NewReplicaPool(replicas ...GatherClient) *ReplicaPool {
+	return NewReplicaPoolOptions(PoolOptions{}, replicas...)
+}
+
+// NewReplicaPoolOptions creates a pool with explicit queue sizing.
+func NewReplicaPoolOptions(opts PoolOptions, replicas ...GatherClient) *ReplicaPool {
+	p := &ReplicaPool{p: newPullPool[GatherClient, GatherRequest, GatherReply](
+		"serving: replica pool",
+		"serving: replica pool is empty",
+		"serving: all %d replicas failed: %w",
+		func(c GatherClient, ctx context.Context, req *GatherRequest, reply *GatherReply) error {
+			return c.Gather(ctx, req, reply)
+		}, opts)}
+	for _, c := range replicas {
+		p.p.add(c)
+	}
+	return p
+}
+
+// Gather enqueues the request onto the shard queue and waits for a replica
+// worker to complete it. On a full queue it fails immediately with an
+// error wrapping ErrQueueFull; on a replica failure the task fails over to
+// the remaining replicas once each, and only when every replica has failed
+// does the aggregated error come back. A canceled context abandons a
+// still-queued task immediately.
+func (p *ReplicaPool) Gather(ctx context.Context, req *GatherRequest, reply *GatherReply) error {
+	return p.p.do(ctx, req, reply)
+}
+
+// Add appends a replica and starts its pull workers.
+func (p *ReplicaPool) Add(c GatherClient) { p.p.add(c) }
+
+// Remove drops the most recently added replica and returns it (nil when
+// the pool would become empty — a shard always keeps one replica). Its
+// workers finish any claimed task before exiting, so no gather is lost.
+func (p *ReplicaPool) Remove() GatherClient {
+	c, ok := p.p.remove()
+	if !ok {
+		return nil
 	}
 	return c
 }
 
 // Size returns the replica count.
-func (p *ReplicaPool) Size() int {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	return len(p.replicas)
-}
+func (p *ReplicaPool) Size() int { return p.p.size() }
 
 // Live returns the count of replicas not marked dead by fault injection.
-func (p *ReplicaPool) Live() int {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	live := len(p.replicas)
-	for _, d := range p.dead {
-		if d {
-			live--
-		}
-	}
-	return live
-}
+func (p *ReplicaPool) Live() int { return p.p.live() }
 
 // KillReplica is the scenario fault hook for a crashed pod: replica i
-// stays in the rotation but every call routed to it fails immediately, so
-// the pool's request-level failover carries its share of traffic to the
-// survivors. It reports whether i addressed a replica.
-func (p *ReplicaPool) KillReplica(i int) bool {
-	return p.setDead(i, true)
-}
+// keeps pulling, but every task it claims fails immediately and hands off
+// to the survivors. It reports whether i addressed a replica.
+func (p *ReplicaPool) KillReplica(i int) bool { return p.p.setDead(i, true) }
 
 // ReviveReplica clears a KillReplica injection.
-func (p *ReplicaPool) ReviveReplica(i int) bool {
-	return p.setDead(i, false)
-}
-
-func (p *ReplicaPool) setDead(i int, dead bool) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if i < 0 || i >= len(p.replicas) {
-		return false
-	}
-	if len(p.dead) < len(p.replicas) {
-		p.dead = append(p.dead, make([]bool, len(p.replicas)-len(p.dead))...)
-	}
-	p.dead[i] = dead
-	return true
-}
+func (p *ReplicaPool) ReviveReplica(i int) bool { return p.p.setDead(i, false) }
 
 // InjectDelay is the scenario fault hook for a degraded node: every
-// subsequent gather through the pool stalls d before dispatch (0 removes
+// subsequent call through the pool stalls d before dispatch (0 removes
 // the injection). The stall honors the caller's context deadline.
 func (p *ReplicaPool) InjectDelay(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	p.delay.Store(int64(d))
+	p.p.delay.Store(int64(d))
 }
 
-// InjectedDelay returns the current injected per-gather latency.
+// InjectedDelay returns the current injected per-call latency.
 func (p *ReplicaPool) InjectedDelay() time.Duration {
-	return time.Duration(p.delay.Load())
+	return time.Duration(p.p.delay.Load())
 }
+
+// QueueStats snapshots the shard queue's pressure signals.
+func (p *ReplicaPool) QueueStats() QueueStats { return p.p.queueStats() }
+
+// Workers returns the current pull-worker count (0 after Close).
+func (p *ReplicaPool) Workers() int { return int(p.p.workers.Load()) }
+
+// Close drains the pool for epoch teardown: enqueues start failing with
+// ErrPoolClosed, every worker exits (finishing its claimed task first),
+// and queued tasks fail rather than hang. Idempotent.
+func (p *ReplicaPool) Close() { p.p.close() }
 
 var _ GatherClient = (*ReplicaPool)(nil)
 
-// PredictPool round-robins predict calls across dense-shard replicas with
-// the same one-retry failover ReplicaPool performs for gathers.
+// PredictPool serves dense-replica predicts through the same pull
+// implementation as ReplicaPool — one queue, per-replica workers, the same
+// failover semantics and the same between-attempt reply reset, so a failed
+// replica's partial reply can never bleed into the next attempt's.
 type PredictPool struct {
-	mu       sync.RWMutex
-	replicas []PredictClient
-	next     atomic.Uint64
+	p *pullPool[PredictClient, PredictRequest, PredictReply]
 }
 
 // NewPredictPool creates a pool over the given replicas.
 func NewPredictPool(replicas ...PredictClient) *PredictPool {
-	p := &PredictPool{}
-	p.replicas = append(p.replicas, replicas...)
+	p := &PredictPool{p: newPullPool[PredictClient, PredictRequest, PredictReply](
+		"serving: predict pool",
+		"serving: predict pool is empty",
+		"serving: all %d predict replicas failed: %w",
+		func(c PredictClient, ctx context.Context, req *PredictRequest, reply *PredictReply) error {
+			return c.Predict(ctx, req, reply)
+		}, PoolOptions{})}
+	for _, c := range replicas {
+		p.p.add(c)
+	}
 	return p
 }
 
-// Predict dispatches to the next replica (round robin), failing over to
-// the remaining replicas once each before reporting the last error.
+// Predict enqueues the request and waits for a replica worker, with the
+// same failover and backpressure contract as ReplicaPool.Gather.
 func (p *PredictPool) Predict(ctx context.Context, req *PredictRequest, reply *PredictReply) error {
-	p.mu.RLock()
-	n := len(p.replicas)
-	if n == 0 {
-		p.mu.RUnlock()
-		return fmt.Errorf("serving: predict pool is empty")
-	}
-	replicas := make([]PredictClient, n)
-	copy(replicas, p.replicas)
-	p.mu.RUnlock()
-
-	start := p.next.Add(1)
-	var lastErr error
-	for attempt := 0; attempt < n; attempt++ {
-		if err := ctx.Err(); err != nil {
-			if lastErr == nil {
-				lastErr = err
-			}
-			break
-		}
-		if attempt > 0 {
-			*reply = PredictReply{}
-		}
-		c := replicas[(start+uint64(attempt))%uint64(n)]
-		if err := c.Predict(ctx, req, reply); err != nil {
-			lastErr = err
-			continue
-		}
-		return nil
-	}
-	return fmt.Errorf("serving: all %d predict replicas failed: %w", n, lastErr)
+	return p.p.do(ctx, req, reply)
 }
 
-// Add appends a replica.
-func (p *PredictPool) Add(c PredictClient) {
-	p.mu.Lock()
-	p.replicas = append(p.replicas, c)
-	p.mu.Unlock()
-}
+// Add appends a replica and starts its pull workers.
+func (p *PredictPool) Add(c PredictClient) { p.p.add(c) }
 
 // Size returns the replica count.
-func (p *PredictPool) Size() int {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	return len(p.replicas)
-}
+func (p *PredictPool) Size() int { return p.p.size() }
+
+// QueueStats snapshots the pool's pressure signals.
+func (p *PredictPool) QueueStats() QueueStats { return p.p.queueStats() }
+
+// Close drains the pool: workers exit, queued tasks fail. Idempotent.
+func (p *PredictPool) Close() { p.p.close() }
 
 var _ PredictClient = (*PredictPool)(nil)
 
-// AutoscaledShard couples a shard replica pool with its HPA-style target:
-// scale out when offered per-replica QPS exceeds QPSMax, scale in when it
-// falls well below (Sec. IV-D's throughput-centric sparse-shard policy).
+// QueuePolicy is the queue-depth autoscaling policy: scale a shard's
+// replica set from its pull-queue pressure instead of offered QPS. The
+// decision is a pure function of a QueueStats snapshot (see Decide), so
+// the policy is property-testable without a live deployment.
+type QueuePolicy struct {
+	// HighDepth scales out when the per-replica depth EWMA exceeds it.
+	HighDepth float64
+	// LowDepth scales in when the per-replica depth EWMA falls below it
+	// (and more than one replica remains). LowDepth < HighDepth is the
+	// hysteresis band that prevents add/remove flapping.
+	LowDepth float64
+	// Cooldown is the minimum time between scale decisions for one shard.
+	Cooldown time.Duration
+}
+
+// Validate rejects a policy whose thresholds cannot behave (no hysteresis
+// band, negative times).
+func (p *QueuePolicy) Validate() error {
+	if p.HighDepth <= 0 {
+		return fmt.Errorf("serving: queue policy: high depth must be positive")
+	}
+	if p.LowDepth < 0 || p.LowDepth >= p.HighDepth {
+		return fmt.Errorf("serving: queue policy: low depth %.2f must be in [0, high depth %.2f)", p.LowDepth, p.HighDepth)
+	}
+	if p.Cooldown < 0 {
+		return fmt.Errorf("serving: queue policy: cooldown must not be negative")
+	}
+	return nil
+}
+
+// Decide returns the replica delta (-1, 0 or +1) for one control tick:
+// +1 when the per-replica depth EWMA is above HighDepth, -1 when it is
+// below LowDepth with replicas to spare, 0 inside the hysteresis band or
+// within Cooldown of the last scale action. Monotone in the depth signal.
+func (p *QueuePolicy) Decide(st QueueStats, lastScale, now time.Time) int {
+	if p == nil || p.HighDepth <= 0 {
+		return 0
+	}
+	if p.Cooldown > 0 && now.Sub(lastScale) < p.Cooldown {
+		return 0
+	}
+	replicas := st.Replicas
+	if replicas < 1 {
+		replicas = 1
+	}
+	perReplica := st.DepthEWMA / float64(replicas)
+	switch {
+	case perReplica > p.HighDepth:
+		return 1
+	case st.Replicas > 1 && perReplica < p.LowDepth:
+		return -1
+	}
+	return 0
+}
+
+// AutoscaledShard couples a shard replica pool with its scaling target.
+// Two policies exist: the HPA-style offered-QPS target (QPSMax — scale out
+// when offered per-replica QPS exceeds it, Sec. IV-D's throughput-centric
+// sparse-shard policy), and the pull-queue policy (Queue — scale on the
+// pool's own depth/service EWMAs). When Queue is set it takes precedence:
+// queue pressure sees a hot shard directly, without trusting the frontend
+// meter's attribution.
 type AutoscaledShard struct {
 	Name string
 	// Model names the DLRM variant the shard belongs to in a multi-model
@@ -264,10 +749,17 @@ type AutoscaledShard struct {
 	Model  string
 	Pool   *ReplicaPool
 	QPSMax float64
+	// Queue, when set, scales the shard from its pull-queue pressure
+	// (Pool.QueueStats) instead of offered QPS.
+	Queue *QueuePolicy
 	// Spawn creates one more replica service for the shard.
 	Spawn func() (GatherClient, error)
 	// MaxReplicas caps scale-out (0 = unlimited).
 	MaxReplicas int
+
+	// lastScale anchors Queue.Cooldown; owned by the evaluating
+	// autoscaler loop.
+	lastScale time.Time
 }
 
 // ModelRepartition is one variant's entry in a multi-model autoscaler: the
@@ -299,7 +791,10 @@ type ModelRepartition struct {
 // serving example. Besides replica scaling it can own the live
 // repartition trigger: when the deployment's per-shard utility skew
 // (Fig. 14) exceeds the policy threshold, it re-plans and swaps the
-// partition epoch while traffic keeps flowing.
+// partition epoch while traffic keeps flowing. Replica scaling and
+// repartitioning are deliberately decoupled signals: queue pressure adds
+// copies of a shard within the current epoch; utility skew moves the rows
+// themselves via a plan swap.
 //
 // Shards and Repartitions may be set directly before Start; once the loop
 // is running, mutate them through the Add/Set/Remove methods — that is how
@@ -317,6 +812,10 @@ type LiveAutoscaler struct {
 	// PredictRequest.Model) instead of the aggregate OfferedQPS — so one
 	// variant's traffic spike never scales another variant's pools.
 	OfferedModelQPS func(model string) float64
+	// OnScale, when set, observes every replica add/remove the loop
+	// performs (called from the control goroutine; keep it fast and
+	// thread-safe).
+	OnScale func(s *AutoscaledShard, from, to int)
 
 	// Deployment, when set together with RepartitionPolicy and Replan,
 	// enables the skew-triggered live repartition loop for a single-model
@@ -438,11 +937,15 @@ func (a *LiveAutoscaler) step() {
 }
 
 // Evaluate runs one scaling decision for a shard and returns the replica
-// count after the decision. A shard with a Model set prefers the per-model
-// offered-QPS meter, falling back to the aggregate one.
+// count after the decision. A shard with a Queue policy scales on the
+// pool's queue pressure; otherwise a shard with a Model set prefers the
+// per-model offered-QPS meter, falling back to the aggregate one.
 func (a *LiveAutoscaler) Evaluate(s *AutoscaledShard) int {
 	if s.Pool == nil {
 		return 0
+	}
+	if s.Queue != nil {
+		return a.evaluateQueue(s, time.Now())
 	}
 	var offered float64
 	switch {
@@ -462,10 +965,41 @@ func (a *LiveAutoscaler) Evaluate(s *AutoscaledShard) int {
 		if s.Spawn != nil {
 			if c, err := s.Spawn(); err == nil {
 				s.Pool.Add(c)
+				if a.OnScale != nil {
+					a.OnScale(s, replicas, replicas+1)
+				}
 			}
 		}
 	case replicas > 1 && offered/float64(replicas-1) < s.QPSMax*0.5:
-		s.Pool.Remove()
+		if s.Pool.Remove() != nil && a.OnScale != nil {
+			a.OnScale(s, replicas, replicas-1)
+		}
+	}
+	return s.Pool.Size()
+}
+
+// evaluateQueue runs one queue-policy decision at the given wall time.
+func (a *LiveAutoscaler) evaluateQueue(s *AutoscaledShard, now time.Time) int {
+	st := s.Pool.QueueStats()
+	switch s.Queue.Decide(st, s.lastScale, now) {
+	case 1:
+		if (s.MaxReplicas != 0 && st.Replicas >= s.MaxReplicas) || s.Spawn == nil {
+			break
+		}
+		if c, err := s.Spawn(); err == nil {
+			s.Pool.Add(c)
+			s.lastScale = now
+			if a.OnScale != nil {
+				a.OnScale(s, st.Replicas, st.Replicas+1)
+			}
+		}
+	case -1:
+		if s.Pool.Remove() != nil {
+			s.lastScale = now
+			if a.OnScale != nil {
+				a.OnScale(s, st.Replicas, st.Replicas-1)
+			}
+		}
 	}
 	return s.Pool.Size()
 }

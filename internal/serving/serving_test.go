@@ -314,21 +314,38 @@ func TestEmbeddingShardGather(t *testing.T) {
 	}
 }
 
-func TestReplicaPoolRoundRobinAndScaling(t *testing.T) {
+func TestReplicaPoolSharesLoadAndScaling(t *testing.T) {
 	tab, _ := embedding.NewRandomTable("t", 10, 2, 1)
 	s1, _ := NewEmbeddingShard(0, 0, tab, 0, 10)
 	s2, _ := NewEmbeddingShard(0, 0, tab, 0, 10)
 	pool := NewReplicaPool(s1, s2)
 	req := &GatherRequest{Indices: []int64{1}, Offsets: []int32{0}}
-	for i := 0; i < 4; i++ {
-		var reply GatherReply
-		if err := pool.Gather(bg, req, &reply); err != nil {
-			t.Fatal(err)
-		}
+	// Pull model: any idle worker may claim a gather, so distribution is
+	// load-sharing rather than strict round robin — under enough
+	// concurrent traffic both replicas must see work, and every call must
+	// succeed.
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var reply GatherReply
+			if err := pool.Gather(bg, req, &reply); err != nil {
+				errs <- err
+			}
+		}()
 	}
-	// Round robin: both replicas saw traffic.
-	if s1.Latency.Count() != 2 || s2.Latency.Count() != 2 {
-		t.Fatalf("distribution: %d/%d", s1.Latency.Count(), s2.Latency.Count())
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if s1.Latency.Count() == 0 || s2.Latency.Count() == 0 {
+		t.Fatalf("distribution: %d/%d — a replica never pulled work", s1.Latency.Count(), s2.Latency.Count())
+	}
+	if got := s1.Latency.Count() + s2.Latency.Count(); got != 64 {
+		t.Fatalf("served %d gathers, want 64", got)
 	}
 	// Remove keeps at least one replica.
 	if pool.Remove() == nil {
