@@ -599,8 +599,11 @@ func BenchmarkServing_ConcurrentPredict(b *testing.B) {
 // isolates the transport: RM1's batch/pooling (32x128 indices per table,
 // 64-wide embeddings) keeps the payloads realistic while tiny MLPs keep
 // dense compute off the critical path, and the deployment is unbatched so
-// each predict fans out 12 gather RPCs (4 tables x 3 shards).
-func concurrentPredictTCPFixture(b *testing.B, codec serving.WireCodec) (serving.PredictClient, []*serving.PredictRequest, func()) {
+// each predict fans out 12 gather RPCs (4 tables x 3 shards). opts
+// layers gather-path options (GatherRows, RowCacheBytes, WireFP16) on
+// top of the transport, which the fixture pins to TCP+codec itself; the
+// returned deployment exposes BuildCounters for cache-metric reporting.
+func concurrentPredictTCPFixture(b *testing.B, codec serving.WireCodec, opts serving.BuildOptions) (serving.PredictClient, []*serving.PredictRequest, *serving.LiveDeployment, func()) {
 	b.Helper()
 	cfg := model.Config{
 		Name:          "wire-bench",
@@ -636,8 +639,9 @@ func concurrentPredictTCPFixture(b *testing.B, codec serving.WireCodec) (serving
 	if err != nil {
 		b.Fatal(err)
 	}
-	ld, err := serving.BuildElastic(m, stats, []int64{5_000, 20_000, cfg.RowsPerTable},
-		serving.BuildOptions{Transport: serving.TransportTCP, WireCodec: codec})
+	opts.Transport = serving.TransportTCP
+	opts.WireCodec = codec
+	ld, err := serving.BuildElastic(m, stats, []int64{5_000, 20_000, cfg.RowsPerTable}, opts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -680,7 +684,7 @@ func concurrentPredictTCPFixture(b *testing.B, codec serving.WireCodec) (serving
 		}
 		reqs[i] = req
 	}
-	return client, reqs, func() {
+	return client, reqs, ld, func() {
 		_ = closeClient()
 		ld.Close()
 	}
@@ -694,9 +698,36 @@ func concurrentPredictTCPFixture(b *testing.B, codec serving.WireCodec) (serving
 // difference.
 func BenchmarkServing_ConcurrentPredictWire(b *testing.B) {
 	for _, codec := range []serving.WireCodec{serving.WireGob, serving.WireBinary} {
-		client, reqs, cleanup := concurrentPredictTCPFixture(b, codec)
+		client, reqs, _, cleanup := concurrentPredictTCPFixture(b, codec, serving.BuildOptions{})
 		b.Run("tcp/wire="+string(codec)+"/clients=8", func(b *testing.B) {
 			runClosedLoopPredict(b, client, reqs, 8)
+		})
+		cleanup()
+	}
+}
+
+// BenchmarkServing_HotRowCache is the gather-path-v2 shoot-out on the
+// identical TCP deployment and Zipf-skewed workload: the v1 pooled
+// fan-out, the v2 dedup rows fan-out, and v2 with the frontend hot-row
+// cache. Compare the qps metric across rows — dedup shrinks every
+// gather's index payload, and at this locality most deduped rows then
+// resolve in the frontend cache without touching the wire at all. The
+// cache row also reports its measured hit rate.
+func BenchmarkServing_HotRowCache(b *testing.B) {
+	for _, sub := range []struct {
+		name string
+		opts serving.BuildOptions
+	}{
+		{"tcp/path=v1", serving.BuildOptions{}},
+		{"tcp/path=rows", serving.BuildOptions{GatherRows: true}},
+		{"tcp/path=rows+cache", serving.BuildOptions{RowCacheBytes: 32 << 20}},
+	} {
+		client, reqs, ld, cleanup := concurrentPredictTCPFixture(b, serving.WireBinary, sub.opts)
+		b.Run(sub.name+"/clients=8", func(b *testing.B) {
+			runClosedLoopPredict(b, client, reqs, 8)
+			if bc := ld.BuildCounters(); bc.RowCacheHits+bc.RowCacheMisses > 0 {
+				b.ReportMetric(float64(bc.RowCacheHits)/float64(bc.RowCacheHits+bc.RowCacheMisses), "hitrate")
+			}
 		})
 		cleanup()
 	}

@@ -1,16 +1,18 @@
 // Command benchguard compares two BENCH_serving.json-style files (see
-// cmd/benchjson and internal/benchio) and fails when a benchmark's
-// allocs/op regressed past a threshold against the checked-in baseline. CI
-// runs it after the smoke benches so an allocation regression on the
-// Predict hot path fails the build instead of silently accreting;
-// allocs/op is compared (not ns/op) because it is deterministic across
-// runner hardware. Whole-scenario artifacts are guarded by the companion
-// cmd/scenarioguard.
+// cmd/benchjson and internal/benchio) and fails when a benchmark regressed
+// past a threshold against the checked-in baseline. CI runs it after the
+// smoke benches so a regression on the Predict hot path fails the build
+// instead of silently accreting. Two metrics are judged: allocs/op with a
+// tight threshold (deterministic across runner hardware) and ns/op with a
+// deliberately generous one (wall time is noisy on shared runners, so the
+// ns/op gate only catches order-of-magnitude blowups — an accidental
+// O(n²), a lost fast path — not percent-level drift). Whole-scenario
+// artifacts are guarded by the companion cmd/scenarioguard.
 //
 // Usage:
 //
 //	benchguard -baseline BENCH_serving.json -current bench-guard.json \
-//	    -filter Predict -max-regress 0.25
+//	    -filter Predict -max-regress 0.25 -max-ns-regress 1.0
 package main
 
 import (
@@ -21,29 +23,47 @@ import (
 	"repro/internal/benchio"
 )
 
-// regression describes one benchmark that got worse past the threshold.
+// regression describes one benchmark metric that got worse past its
+// threshold.
 type regression struct {
 	name             string
+	metric           string // "allocs/op" or "ns/op"
 	baseline, actual float64
+	threshold        float64
 }
 
-// check compares current against baseline on allocs/op for names matching
-// filter (comma-separated substrings), returning the regressions past
-// maxRegress (a fraction: 0.25 allows +25%). Benches absent from either
-// side, or with a zero baseline, are skipped — new benches must not fail
-// the guard retroactively.
-func check(baseline, current map[string]benchio.Row, filter string, maxRegress float64) (compared int, regs []regression) {
+// check compares current against baseline for names matching filter
+// (comma-separated substrings): allocs/op against maxRegress and ns/op
+// against maxNsRegress (fractions: 0.25 allows +25%; a negative
+// maxNsRegress disables the ns/op gate). Benches absent from either side,
+// or with a zero baseline for a metric, are skipped — new benches must
+// not fail the guard retroactively.
+func check(baseline, current map[string]benchio.Row, filter string, maxRegress, maxNsRegress float64) (compared int, regs []regression) {
 	for name, base := range baseline {
 		if !benchio.MatchesAny(name, filter) {
 			continue
 		}
 		cur, ok := current[name]
-		if !ok || base.AllocsPerOp <= 0 {
+		if !ok {
 			continue
 		}
-		compared++
-		if cur.AllocsPerOp > base.AllocsPerOp*(1+maxRegress) {
-			regs = append(regs, regression{name: name, baseline: base.AllocsPerOp, actual: cur.AllocsPerOp})
+		judged := false
+		if base.AllocsPerOp > 0 {
+			judged = true
+			if cur.AllocsPerOp > base.AllocsPerOp*(1+maxRegress) {
+				regs = append(regs, regression{name: name, metric: "allocs/op",
+					baseline: base.AllocsPerOp, actual: cur.AllocsPerOp, threshold: maxRegress})
+			}
+		}
+		if maxNsRegress >= 0 && base.NsPerOp > 0 {
+			judged = true
+			if cur.NsPerOp > base.NsPerOp*(1+maxNsRegress) {
+				regs = append(regs, regression{name: name, metric: "ns/op",
+					baseline: base.NsPerOp, actual: cur.NsPerOp, threshold: maxNsRegress})
+			}
+		}
+		if judged {
+			compared++
 		}
 	}
 	return compared, regs
@@ -63,6 +83,7 @@ func main() {
 	currentPath := flag.String("current", "", "freshly measured artifact to judge")
 	filter := flag.String("filter", "Predict", "only guard benchmark names containing one of these comma-separated substrings")
 	maxRegress := flag.Float64("max-regress", 0.25, "allowed fractional allocs/op regression (0.25 = +25%)")
+	maxNsRegress := flag.Float64("max-ns-regress", 1.0, "allowed fractional ns/op regression (1.0 = +100%; negative disables)")
 	flag.Parse()
 	if *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "benchguard: -current is required")
@@ -78,7 +99,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
 		os.Exit(2)
 	}
-	compared, regs := check(baseline, current, *filter, *maxRegress)
+	compared, regs := check(baseline, current, *filter, *maxRegress, *maxNsRegress)
 	if compared == 0 {
 		fmt.Fprintf(os.Stderr, "benchguard: no %q benches in common between %s and %s\n",
 			*filter, *baselinePath, *currentPath)
@@ -86,10 +107,11 @@ func main() {
 	}
 	if len(regs) > 0 {
 		for _, r := range regs {
-			fmt.Fprintf(os.Stderr, "benchguard: %s allocs/op regressed %.0f -> %.0f (>%+.0f%%)\n",
-				r.name, r.baseline, r.actual, *maxRegress*100)
+			fmt.Fprintf(os.Stderr, "benchguard: %s %s regressed %.0f -> %.0f (>%+.0f%%)\n",
+				r.name, r.metric, r.baseline, r.actual, r.threshold*100)
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("benchguard: %d benches within +%.0f%% allocs/op of baseline\n", compared, *maxRegress*100)
+	fmt.Printf("benchguard: %d benches within +%.0f%% allocs/op (+%.0f%% ns/op) of baseline\n",
+		compared, *maxRegress*100, *maxNsRegress*100)
 }

@@ -14,10 +14,18 @@ func rows(pairs map[string]float64) map[string]benchio.Row {
 	return out
 }
 
+func nsRows(pairs map[string]float64) map[string]benchio.Row {
+	out := make(map[string]benchio.Row, len(pairs))
+	for name, ns := range pairs {
+		out[name] = benchio.Row{Name: name, NsPerOp: ns}
+	}
+	return out
+}
+
 func TestCheckPassesWithinThreshold(t *testing.T) {
 	base := rows(map[string]float64{"BenchmarkServing_EndToEndPredict": 100})
 	cur := rows(map[string]float64{"BenchmarkServing_EndToEndPredict": 124})
-	compared, regs := check(base, cur, "Predict", 0.25)
+	compared, regs := check(base, cur, "Predict", 0.25, 1.0)
 	if compared != 1 || len(regs) != 0 {
 		t.Fatalf("compared=%d regs=%v, want 1 compared and no regressions", compared, regs)
 	}
@@ -26,12 +34,32 @@ func TestCheckPassesWithinThreshold(t *testing.T) {
 func TestCheckFlagsRegression(t *testing.T) {
 	base := rows(map[string]float64{"BenchmarkServing_EndToEndPredict": 100})
 	cur := rows(map[string]float64{"BenchmarkServing_EndToEndPredict": 126})
-	_, regs := check(base, cur, "Predict", 0.25)
+	_, regs := check(base, cur, "Predict", 0.25, 1.0)
 	if len(regs) != 1 {
 		t.Fatalf("regs = %v, want the +26%% regression flagged", regs)
 	}
 	if regs[0].baseline != 100 || regs[0].actual != 126 {
 		t.Fatalf("regs[0] = %+v", regs[0])
+	}
+}
+
+func TestCheckGatesNsPerOp(t *testing.T) {
+	base := nsRows(map[string]float64{"BenchmarkServing_EndToEndPredict": 1000})
+	// +150% wall time trips the generous ns/op gate...
+	cur := nsRows(map[string]float64{"BenchmarkServing_EndToEndPredict": 2500})
+	compared, regs := check(base, cur, "Predict", 0.25, 1.0)
+	if compared != 1 || len(regs) != 1 || regs[0].metric != "ns/op" {
+		t.Fatalf("compared=%d regs=%v, want the ns/op blowup flagged", compared, regs)
+	}
+	// ...+80% does not...
+	cur = nsRows(map[string]float64{"BenchmarkServing_EndToEndPredict": 1800})
+	if _, regs := check(base, cur, "Predict", 0.25, 1.0); len(regs) != 0 {
+		t.Fatalf("regs = %v, want +80%% ns/op tolerated", regs)
+	}
+	// ...and a negative threshold disables the gate entirely.
+	cur = nsRows(map[string]float64{"BenchmarkServing_EndToEndPredict": 99999})
+	if compared, regs := check(base, cur, "Predict", 0.25, -1); compared != 0 || len(regs) != 0 {
+		t.Fatalf("compared=%d regs=%v, want ns-only rows skipped with the gate off", compared, regs)
 	}
 }
 
@@ -47,7 +75,7 @@ func TestCheckSkipsUnmatchedAndFiltered(t *testing.T) {
 		"BenchmarkServing_Repartition/cold": 9999,
 		"BenchmarkServing_ZeroPredict":      10,
 	})
-	compared, regs := check(base, cur, "Predict", 0.25)
+	compared, regs := check(base, cur, "Predict", 0.25, 1.0)
 	if compared != 1 {
 		t.Fatalf("compared = %d, want 1 (filtered/unmatched/zero rows skipped)", compared)
 	}

@@ -103,6 +103,18 @@ func compareRows(artifact string, baseline, current []benchio.Row, th thresholds
 					metric: "swaps", baseline: bv, actual: cv})
 			}
 		}
+		// Hot-row cache hit-rate floor: when both runs carried a live
+		// cache and the baseline actually hit (>= 5%), the current run
+		// must keep at least half the baseline's hit rate — a collapse
+		// means the cache stopped being consulted or seeded, which is a
+		// code regression, not runner noise.
+		if bv, cv, ok := extraPair(b, cur, "rowcache_hit_rate"); ok && bv >= 0.05 {
+			compared++
+			if cv < bv*0.5 {
+				regs = append(regs, regression{artifact: artifact, row: cur.Name,
+					metric: "rowcache_hit_rate", baseline: bv, actual: cv})
+			}
+		}
 	}
 	return compared, regs
 }

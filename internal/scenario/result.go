@@ -149,6 +149,15 @@ func (r *Result) Rows() []benchio.Row {
 			mrow.Extra["queue_rejected"] = float64(rejected)
 			mrow.Extra["queue_shards"] = float64(len(st.Queues))
 			mrow.Extra["queue_replicas"] = float64(replicas)
+			// Frontend hot-row cache (gather path v2). Emitted only when
+			// the cache saw traffic, so baselines from cache-off runs don't
+			// grow guardable keys.
+			if lookups := st.Counters.RowCacheHits + st.Counters.RowCacheMisses; lookups > 0 {
+				mrow.Extra["rowcache_hits"] = float64(st.Counters.RowCacheHits)
+				mrow.Extra["rowcache_misses"] = float64(st.Counters.RowCacheMisses)
+				mrow.Extra["rowcache_bytes"] = float64(st.Counters.RowCacheBytes)
+				mrow.Extra["rowcache_hit_rate"] = float64(st.Counters.RowCacheHits) / float64(lookups)
+			}
 		}
 		rows = append(rows, mrow)
 	}

@@ -242,7 +242,11 @@ func (v *variant) buildOptions() serving.BuildOptions {
 	if v.spec.Transport == "local" {
 		transport = serving.TransportLocal
 	}
-	bo := serving.BuildOptions{Transport: transport, Replicas: v.spec.Replicas}
+	bo := serving.BuildOptions{
+		Transport:     transport,
+		Replicas:      v.spec.Replicas,
+		RowCacheBytes: v.spec.RowCacheBytes,
+	}
 	if b := v.spec.Batching; b != nil {
 		bo.Batching = &serving.BatcherOptions{MaxBatch: b.MaxBatch, MaxDelay: b.MaxDelay.D()}
 	}

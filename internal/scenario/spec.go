@@ -122,6 +122,10 @@ type ModelSpec struct {
 	// variant's shard pools: replicas are added/removed from pull-queue
 	// pressure alone, within the serving epoch, without a repartition.
 	Autoscale *Autoscale `json:"autoscale"`
+	// RowCacheBytes, when positive, enables the frontend hot-row cache
+	// (gather path v2) with this byte budget; hit/miss/bytes counters
+	// surface in the artifact's per-model rows.
+	RowCacheBytes int64 `json:"row_cache_bytes"`
 	// Deferred defines the variant without deploying it at start.
 	Deferred bool `json:"deferred"`
 }
@@ -358,6 +362,9 @@ func (s *Spec) Validate() error {
 			if a.MaxReplicas < 0 {
 				return fmt.Errorf("scenario %s: model %q: autoscale max_replicas must not be negative", s.Name, m.Name)
 			}
+		}
+		if m.RowCacheBytes < 0 {
+			return fmt.Errorf("scenario %s: model %q: row_cache_bytes must not be negative", s.Name, m.Name)
 		}
 		if !m.Deferred {
 			active++

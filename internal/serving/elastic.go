@@ -55,6 +55,26 @@ type BuildOptions struct {
 	// max magnitude in error for ~4x smaller gather replies (dim 32).
 	// Ignored on the local transport and the gob codec.
 	WireQuant bool
+	// WireFP16 enables the half-precision gather-reply wire encoding on
+	// the binary codec: rows ride as IEEE 754 binary16 and widen to
+	// float32 before the dense-side accumulate. Off by default so sharded
+	// serving stays bit-exact against the monolith; mutually exclusive
+	// with WireQuant. Ignored on the local transport and the gob codec.
+	WireFP16 bool
+	// GatherRows switches the dense fan-out to gather path v2: per-table
+	// in-batch row dedup (sorted-unique ids, multiplicities re-expanded at
+	// merge time) with rows-mode gathers returning raw rows instead of
+	// pooled-per-input sums. On the binary codec rows-mode replies take
+	// the zero-copy encode path straight from sorted-table storage.
+	// Implied by RowCacheBytes > 0.
+	GatherRows bool
+	// RowCacheBytes, when positive, enables the frontend hot-row cache
+	// (gather path v2) with this total byte budget: unique rows resolve
+	// against the cache before the fan-out, so hot rows never leave the
+	// frontend. Entries are epoch-scoped (a plan swap lazily invalidates
+	// them) and the cache is re-seeded from the fresh plan's hot CDF
+	// before each publish. Implies GatherRows.
+	RowCacheBytes int64
 	// Replicas[s] is the initial replica count of shard s in every
 	// table's pool (nil = one replica each). Replicas share the sorted
 	// table storage in-process; they model independent serving replicas.
@@ -121,6 +141,11 @@ type LiveDeployment struct {
 	cfg    model.Config
 	model  string // canonical model name this deployment serves
 
+	// rowCache is the frontend hot-row cache (nil unless
+	// BuildOptions.RowCacheBytes is set); it is advanced and re-seeded at
+	// the end of every buildTable, just before the epoch publishes.
+	rowCache *rowCache
+
 	// cache is the per-model plan cache (epoch-reuse layer); the build
 	// counters tally construction work for the reuse tests and reports.
 	cache          *planCache
@@ -166,6 +191,12 @@ func buildModelDeployment(router *Router, name string, m *model.Model, stats []*
 	if opts.Transport == "" {
 		opts.Transport = TransportLocal
 	}
+	if opts.WireQuant && opts.WireFP16 {
+		return nil, fmt.Errorf("serving: WireQuant and WireFP16 are mutually exclusive")
+	}
+	if opts.RowCacheBytes > 0 {
+		opts.GatherRows = true
+	}
 	cacheAge := int64(opts.PlanCacheEpochs)
 	if cacheAge == 0 {
 		cacheAge = DefaultPlanCacheEpochs
@@ -178,6 +209,7 @@ func buildModelDeployment(router *Router, name string, m *model.Model, stats []*
 		cfg:          m.Config,
 		model:        canonicalModel(name),
 		cache:        newPlanCache(cacheAge),
+		rowCache:     newRowCache(opts.RowCacheBytes),
 	}
 	rt, _, _, err := ld.buildTable(0, stats, boundaries)
 	if err != nil {
@@ -210,6 +242,8 @@ func buildModelDeployment(router *Router, name string, m *model.Model, stats []*
 	if err != nil {
 		return fail(err)
 	}
+	dense.gatherRows = opts.GatherRows
+	dense.rowCache = ld.rowCache
 	ld.Dense = dense
 	if opts.Batching != nil {
 		ld.Batcher = NewModelBatcher(ld.model, dense, dense.Config(), *opts.Batching)
@@ -308,8 +342,64 @@ func (ld *LiveDeployment) buildTable(epoch int64, stats []*embedding.AccessStats
 	built.Pools = allPools
 	built.units = allUnits
 	rep.WarmedRows = ld.warmFresh(pre, fresh)
+	ld.seedRowCache(epoch, pre)
 	ld.cache.evict(epoch)
 	return built, rep, fresh, nil
+}
+
+// seedRowCache flips the hot-row cache's live epoch to the one being
+// built — from here on, fills for the retiring epoch are rejected and its
+// entries evict lazily — and pre-fills the new epoch from the plan's
+// known hot CDF prefixes (the same warm set warmFresh pre-touches), so a
+// swap publishes with a warm cache instead of a cold-start miss storm.
+// Because the sorted id space is hotness-ordered, the warm set is the
+// prefix [0, hot[t]) of each table — it builds as the cache's seeded
+// plane (flat per-table arenas, swapped in atomically), with rows taken
+// round-robin across tables so the budget splits evenly when it cannot
+// hold every prefix. Runs before publish: in-flight requests still fill
+// the old epoch, harmlessly rejected.
+func (ld *LiveDeployment) seedRowCache(epoch int64, pre *Preprocessed) {
+	c := ld.rowCache
+	if c == nil {
+		return
+	}
+	c.advance(epoch)
+	frac := ld.opts.WarmCDF
+	if frac < 0 {
+		return
+	}
+	if frac == 0 {
+		frac = DefaultWarmCDF
+	}
+	hot := make([]int64, len(pre.CDFs))
+	for t, cdf := range pre.CDFs {
+		rows := cdf.Rows()
+		hot[t] = int64(sort.Search(int(rows), func(j int) bool {
+			return cdf.At(int64(j)+1) >= frac
+		})) + 1
+	}
+	b := c.newPrefixBuilder(epoch, len(pre.Sorted), ld.cfg.EmbeddingDim)
+	for r := int64(0); ; r++ {
+		any, full := false, false
+		for t := range pre.Sorted {
+			if t >= len(hot) || r >= hot[t] {
+				continue
+			}
+			vec, err := pre.Sorted[t].Vector(r)
+			if err != nil {
+				continue
+			}
+			if !b.add(t, vec) {
+				full = true
+				break
+			}
+			any = true
+		}
+		if full || !any {
+			break
+		}
+	}
+	b.install()
 }
 
 // buildShardUnit spins up one shard's service bundle: the embedding-shard
@@ -393,11 +483,8 @@ func exportGather(u *shardUnit, svc GatherClient, name string, opts BuildOptions
 		if err != nil {
 			return nil, err
 		}
-		register := srv.RegisterGather
-		if opts.WireQuant {
-			register = srv.RegisterQuantGather
-		}
-		if err := register(name, svc); err != nil {
+		wopts := GatherWireOptions{Quant: opts.WireQuant, FP16: opts.WireFP16}
+		if err := srv.RegisterGatherWire(name, svc, wopts); err != nil {
 			srv.Close()
 			return nil, err
 		}
@@ -527,6 +614,7 @@ func (ld *LiveDeployment) ReplanMemo(stats []*embedding.AccessStats, replan func
 // bytes of cached sorted tables the Preprocess memos pin.
 func (ld *LiveDeployment) BuildCounters() BuildCounters {
 	pres, units, plans, bytes := ld.cache.occupancy()
+	rc := ld.rowCache.stats()
 	return BuildCounters{
 		Preprocesses:      ld.preBuilds.Value(),
 		PreCacheHits:      ld.preCacheHits.Value(),
@@ -538,6 +626,11 @@ func (ld *LiveDeployment) BuildCounters() BuildCounters {
 		CachedUnits:       units,
 		CachedPlans:       plans,
 		CachedSortedBytes: bytes,
+		RowCacheHits:      rc.Hits,
+		RowCacheMisses:    rc.Misses,
+		RowCacheEvicted:   rc.Evicted,
+		RowCacheSeeded:    rc.Seeded,
+		RowCacheBytes:     rc.Bytes,
 	}
 }
 
@@ -728,6 +821,7 @@ func (ld *LiveDeployment) Shutdown(ctx context.Context) error {
 		rt.Close()
 	}
 	ld.cache.clear()
+	ld.rowCache.clear()
 	return drainErr
 }
 
@@ -750,6 +844,7 @@ func (ld *LiveDeployment) Close() {
 	// Drop the plan cache's references last: a unit kept warm only by the
 	// cache tears its transports down here.
 	ld.cache.clear()
+	ld.rowCache.clear()
 }
 
 // CollectStats replays the batches in original-ID space into fresh access

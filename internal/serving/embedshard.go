@@ -99,6 +99,28 @@ func (s *EmbeddingShard) Gather(ctx context.Context, req *GatherRequest, reply *
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("serving: shard t%d s%d: %w", s.TableIndex, s.ShardIndex, err)
 	}
+	if len(req.Offsets) == 0 {
+		// Rows mode (gather path v2): one raw row per index, no pooling.
+		// This is the local/gob transport's analogue of AppendGatherRows.
+		n := len(req.Indices)
+		dim := s.table.Dim
+		out := wire.GetFloat32(n * dim)
+		for i, idx := range req.Indices {
+			row, err := s.table.Vector(idx)
+			if err != nil {
+				wire.PutFloat32(out)
+				return fmt.Errorf("serving: shard t%d s%d: %w", s.TableIndex, s.ShardIndex, err)
+			}
+			copy(out[i*dim:(i+1)*dim], row)
+		}
+		s.Utility.TouchAll(req.Indices)
+		reply.BatchSize = n
+		reply.Dim = dim
+		reply.Pooled = out
+		s.Latency.Observe(time.Since(start))
+		s.QPS.Mark()
+		return nil
+	}
 	b := embedding.Batch{Indices: req.Indices, Offsets: req.Offsets}
 	if err := b.Validate(); err != nil {
 		return fmt.Errorf("serving: shard t%d s%d: %w", s.TableIndex, s.ShardIndex, err)
@@ -121,7 +143,33 @@ func (s *EmbeddingShard) Gather(ctx context.Context, req *GatherRequest, reply *
 	return nil
 }
 
+// AppendGatherRows is the zero-copy server path for rows-mode gathers on
+// the binary transport (wire.RowSource): rows are encoded straight from
+// the shard's sorted-table storage into the connection's reply frame, so
+// the per-call float32 Matrix copy disappears entirely. Metrics and
+// validation mirror Gather.
+func (s *EmbeddingShard) AppendGatherRows(ctx context.Context, req *wire.GatherRequest, frame []byte, enc byte) ([]byte, error) {
+	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return frame, fmt.Errorf("serving: shard t%d s%d: %w", s.TableIndex, s.ShardIndex, err)
+	}
+	dim := s.table.Dim
+	frame = wire.AppendGatherReplyHeader(frame, len(req.Indices), dim, enc)
+	for _, idx := range req.Indices {
+		row, err := s.table.Vector(idx)
+		if err != nil {
+			return frame, fmt.Errorf("serving: shard t%d s%d: %w", s.TableIndex, s.ShardIndex, err)
+		}
+		frame = wire.AppendGatherRow(frame, row, enc)
+	}
+	s.Utility.TouchAll(req.Indices)
+	s.Latency.Observe(time.Since(start))
+	s.QPS.Mark()
+	return frame, nil
+}
+
 var _ GatherClient = (*EmbeddingShard)(nil)
+var _ wire.RowSource = (*EmbeddingShard)(nil)
 
 // Gather-reply buffers recycle through the wire package's shared float32
 // pool: on the in-process transport the same backing array cycles

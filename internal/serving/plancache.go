@@ -337,6 +337,17 @@ type BuildCounters struct {
 	CachedUnits       int
 	CachedPlans       int
 	CachedSortedBytes int64
+	// RowCache* mirror the frontend hot-row cache (gather path v2): hit /
+	// miss counts on the dense fan-out, entries evicted (budget pressure
+	// or epoch staleness), entries installed by publish-time seeding, and
+	// the cache's current byte footprint. All zero when the cache is off.
+	// Like every field here, they ride the versioned gob admin RPC without
+	// a version bump (absent on old peers).
+	RowCacheHits    int64
+	RowCacheMisses  int64
+	RowCacheEvicted int64
+	RowCacheSeeded  int64
+	RowCacheBytes   int64
 }
 
 // SwapReport describes what one Repartition (or initial build) actually

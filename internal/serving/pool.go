@@ -131,13 +131,32 @@ func (t *pullTask[Req, Reply]) tried(id int) bool {
 }
 
 // poolReplica is one pulling replica: a client plus the fault-injection
-// dead flag and the stop signal its workers watch.
+// dead flag and the stop signal its workers watch. added and busy feed
+// the scale-in utilization ranking (see remove).
 type poolReplica[C any] struct {
 	id     int
 	client C
 	dead   atomic.Bool
 	stop   chan struct{}
 	once   sync.Once
+
+	added time.Time
+	busy  atomic.Int64 // cumulative successful service time, nanoseconds
+}
+
+// utilization is the fraction of the replica's pool lifetime spent
+// serving successful calls (capped at 1; a replica's workers can overlap
+// calls, but the cap keeps the ranking monotone).
+func (r *poolReplica[C]) utilization(now time.Time) float64 {
+	alive := now.Sub(r.added)
+	if alive <= 0 {
+		return 0
+	}
+	u := float64(r.busy.Load()) / float64(alive)
+	if u > 1 {
+		u = 1
+	}
+	return u
 }
 
 // halt stops the replica's workers (idempotent).
@@ -273,7 +292,7 @@ func (p *pullPool[C, Req, Reply]) add(c C) {
 	if p.closed {
 		return
 	}
-	rep := &poolReplica[C]{id: p.nextID, client: c, stop: make(chan struct{})}
+	rep := &poolReplica[C]{id: p.nextID, client: c, stop: make(chan struct{}), added: time.Now()}
 	p.nextID++
 	p.replicas = append(p.replicas, rep)
 	p.wg.Add(p.workersPerReplica)
@@ -283,9 +302,12 @@ func (p *pullPool[C, Req, Reply]) add(c C) {
 	}
 }
 
-// remove drops the most recently added replica and stops its workers. A
-// worker mid-call finishes (and delivers) its current task first, so
-// scale-down never loses a gather. Refuses to empty the pool.
+// remove drops the *coldest* replica — the one with the lowest fraction
+// of its pool lifetime spent serving — and stops its workers. A worker
+// mid-call finishes (and delivers) its current task first, so scale-down
+// never loses a gather. Ties (e.g. a pool that has served no traffic)
+// break toward the newest replica, preserving the previous LIFO
+// behavior. Refuses to empty the pool.
 func (p *pullPool[C, Req, Reply]) remove() (C, bool) {
 	var zero C
 	p.mu.Lock()
@@ -293,8 +315,15 @@ func (p *pullPool[C, Req, Reply]) remove() (C, bool) {
 		p.mu.Unlock()
 		return zero, false
 	}
-	rep := p.replicas[len(p.replicas)-1]
-	p.replicas = p.replicas[:len(p.replicas)-1]
+	now := time.Now()
+	coldest, coldRate := 0, p.replicas[0].utilization(now)
+	for i := 1; i < len(p.replicas); i++ {
+		if u := p.replicas[i].utilization(now); u <= coldRate {
+			coldest, coldRate = i, u
+		}
+	}
+	rep := p.replicas[coldest]
+	p.replicas = append(p.replicas[:coldest], p.replicas[coldest+1:]...)
 	p.mu.Unlock()
 	rep.halt()
 	return rep.client, true
@@ -430,7 +459,9 @@ func (p *pullPool[C, Req, Reply]) serve(rep *poolReplica[C], t *pullTask[Req, Re
 		p.fail(t, rep, err)
 		return
 	}
-	p.noteService(time.Since(start))
+	elapsed := time.Since(start)
+	rep.busy.Add(int64(elapsed))
+	p.noteService(elapsed)
 	t.done <- nil
 }
 
@@ -582,9 +613,11 @@ func (p *ReplicaPool) Gather(ctx context.Context, req *GatherRequest, reply *Gat
 // Add appends a replica and starts its pull workers.
 func (p *ReplicaPool) Add(c GatherClient) { p.p.add(c) }
 
-// Remove drops the most recently added replica and returns it (nil when
-// the pool would become empty — a shard always keeps one replica). Its
-// workers finish any claimed task before exiting, so no gather is lost.
+// Remove drops the coldest replica — lowest per-replica utilization
+// (busy time over pool lifetime), ties toward the newest — and returns
+// it (nil when the pool would become empty — a shard always keeps one
+// replica). Its workers finish any claimed task before exiting, so no
+// gather is lost.
 func (p *ReplicaPool) Remove() GatherClient {
 	c, ok := p.p.remove()
 	if !ok {

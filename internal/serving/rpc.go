@@ -62,24 +62,41 @@ func NewRPCServer(addr string) (*RPCServer, error) {
 // Addr returns the listener's address for clients to dial.
 func (s *RPCServer) Addr() string { return s.listener.Addr().String() }
 
+// GatherWireOptions selects the per-service gather-reply encoding on the
+// binary codec (gob replies are unaffected; these are wire encodings, not
+// service changes). At most one of Quant/FP16 may be set.
+type GatherWireOptions struct {
+	Quant bool // int8-quantized rows
+	FP16  bool // half-precision rows
+}
+
 // RegisterGather exposes a gather service under name on both codecs.
 func (s *RPCServer) RegisterGather(name string, svc GatherClient) error {
-	return s.registerGather(name, svc, false)
+	return s.RegisterGatherWire(name, svc, GatherWireOptions{})
 }
 
 // RegisterQuantGather is RegisterGather with the int8-quantized
-// gather-reply encoding on the binary codec (gob replies are unaffected;
-// quantization is a per-service wire encoding, not a service change).
+// gather-reply encoding on the binary codec.
 func (s *RPCServer) RegisterQuantGather(name string, svc GatherClient) error {
-	return s.registerGather(name, svc, true)
+	return s.RegisterGatherWire(name, svc, GatherWireOptions{Quant: true})
 }
 
-func (s *RPCServer) registerGather(name string, svc GatherClient, quant bool) error {
+// RegisterGatherWire is RegisterGather with explicit wire options. If svc
+// also implements wire.RowSource, rows-mode gathers on the binary codec
+// take the zero-copy encode path.
+func (s *RPCServer) RegisterGatherWire(name string, svc GatherClient, opts GatherWireOptions) error {
+	if opts.Quant && opts.FP16 {
+		return fmt.Errorf("serving: service %q: quant and fp16 wire encodings are mutually exclusive", name)
+	}
 	if err := s.server.RegisterName(name, &gatherRPC{svc: svc}); err != nil {
 		return err
 	}
+	ep := wire.Endpoint{Gather: svc, Quant: opts.Quant, FP16: opts.FP16}
+	if rs, ok := svc.(wire.RowSource); ok {
+		ep.Rows = rs
+	}
 	s.epMu.Lock()
-	s.endpoints[name] = wire.Endpoint{Gather: svc, Quant: quant}
+	s.endpoints[name] = ep
 	s.epMu.Unlock()
 	return nil
 }

@@ -24,6 +24,7 @@ import (
 //	GatherReply    = u32 batchSize | u32 dim | u8 enc | rows
 //	                 enc 0: batchSize*dim × f32 (row-major)
 //	                 enc 1: per row, f32 scale | dim × i8
+//	                 enc 2: batchSize*dim × f16 (row-major)
 //	PredictRequest = u16 modelLen | model | u32 batchSize | u32 denseDim |
 //	                 u64 deadline | u32 nDense | u32 nTables |
 //	                 nDense × f32 | per table (u32 nIdx | u32 nOff |
@@ -197,18 +198,49 @@ func DecodeGatherRequest(data []byte, req *GatherRequest) error {
 // reply is self-describing (the encoding byte), so decoders need no
 // negotiation state.
 func AppendGatherReply(b []byte, rep *GatherReply, quant bool) []byte {
-	b = appendU32(b, rep.BatchSize)
-	b = appendU32(b, rep.Dim)
-	if !quant {
-		b = append(b, EncFloat32)
+	enc := EncFloat32
+	if quant {
+		enc = EncInt8
+	}
+	return AppendGatherReplyEnc(b, rep, enc)
+}
+
+// AppendGatherReplyEnc encodes rep onto b with an explicit row encoding
+// (EncFloat32, EncInt8 or EncFloat16).
+func AppendGatherReplyEnc(b []byte, rep *GatherReply, enc byte) []byte {
+	b = AppendGatherReplyHeader(b, rep.BatchSize, rep.Dim, enc)
+	if enc == EncFloat32 {
 		return appendFloat32s(b, rep.Pooled)
 	}
-	b = append(b, EncInt8)
 	dim := rep.Dim
 	for row := 0; row+dim <= len(rep.Pooled); row += dim {
-		vals := rep.Pooled[row : row+dim]
+		b = AppendGatherRow(b, rep.Pooled[row:row+dim], enc)
+	}
+	return b
+}
+
+// AppendGatherReplyHeader opens a gather-reply payload: the fixed header
+// before any rows. Zero-copy servers (RowSource) call this once, then
+// AppendGatherRow per row, encoding straight from storage into the frame.
+func AppendGatherReplyHeader(b []byte, batchSize, dim int, enc byte) []byte {
+	b = appendU32(b, batchSize)
+	b = appendU32(b, dim)
+	return append(b, enc)
+}
+
+// AppendGatherRow encodes one row after an AppendGatherReplyHeader.
+func AppendGatherRow(b []byte, row []float32, enc byte) []byte {
+	switch enc {
+	case EncFloat32:
+		return appendFloat32s(b, row)
+	case EncFloat16:
+		for _, v := range row {
+			b = binary.LittleEndian.AppendUint16(b, f32ToF16(v))
+		}
+		return b
+	default: // EncInt8
 		var maxAbs float32
-		for _, v := range vals {
+		for _, v := range row {
 			if a := float32(math.Abs(float64(v))); a > maxAbs {
 				maxAbs = a
 			}
@@ -216,13 +248,13 @@ func AppendGatherReply(b []byte, rep *GatherReply, quant bool) []byte {
 		scale := maxAbs / 127
 		b = appendF32(b, scale)
 		if scale == 0 {
-			for range vals {
+			for range row {
 				b = append(b, 0)
 			}
-			continue
+			return b
 		}
 		inv := 1 / scale
-		for _, v := range vals {
+		for _, v := range row {
 			q := int32(math.Round(float64(v) * float64(inv)))
 			if q > 127 {
 				q = 127
@@ -231,8 +263,8 @@ func AppendGatherReply(b []byte, rep *GatherReply, quant bool) []byte {
 			}
 			b = append(b, byte(int8(q)))
 		}
+		return b
 	}
-	return b
 }
 
 // DecodeGatherReply decodes a gather reply, materializing float32 rows
@@ -274,6 +306,15 @@ func DecodeGatherReply(data []byte, rep *GatherReply) error {
 			for i := range dst {
 				dst[i] = scale * float32(int8(q[i]))
 			}
+		}
+	case EncFloat16:
+		if bs*dim*2 != r.rem() {
+			return errShort
+		}
+		rep.Pooled = GetFloat32(bs * dim)
+		raw := r.bytes(bs * dim * 2)
+		for i := range rep.Pooled {
+			rep.Pooled[i] = f16ToF32(le.Uint16(raw[2*i:]))
 		}
 	default:
 		return fmt.Errorf("wire: unknown gather-reply encoding %d", enc)

@@ -1,0 +1,80 @@
+package wire
+
+import "math"
+
+// IEEE 754 binary16 conversion for the EncFloat16 gather-row encoding.
+// Encode rounds to nearest-even; decode widens exactly. The pair is
+// chosen so that f16→f32→f16 is bit-identical for every 16-bit pattern
+// (including NaN payloads and subnormals), which is what lets the fuzz
+// canonicality oracle re-encode decoded fp16 frames and demand byte
+// equality.
+
+// f32ToF16 converts a float32 to its nearest binary16 bit pattern
+// (round-to-nearest-even; overflow saturates to ±Inf).
+func f32ToF16(f float32) uint16 {
+	bits := math.Float32bits(f)
+	sign := uint16(bits>>16) & 0x8000
+	exp := int32(bits>>23&0xff) - 127 + 15
+	man := bits & 0x7fffff
+	if exp >= 0x1f {
+		// Inf/NaN, or a finite value whose exponent overflows binary16.
+		if bits&0x7fffffff > 0x7f800000 {
+			// NaN: keep the top mantissa bits; never collapse to Inf.
+			m := uint16(man >> 13)
+			if m == 0 {
+				m = 1
+			}
+			return sign | 0x7c00 | m
+		}
+		return sign | 0x7c00
+	}
+	if exp <= 0 {
+		if exp < -10 {
+			return sign // underflows past subnormals: signed zero
+		}
+		// Subnormal: shift the implicit-1 mantissa into place and round.
+		man |= 0x800000
+		shift := uint32(14 - exp)
+		v := man >> shift
+		rem := man & (1<<shift - 1)
+		half := uint32(1) << (shift - 1)
+		if rem > half || (rem == half && v&1 == 1) {
+			v++
+		}
+		return sign | uint16(v)
+	}
+	v := man >> 13
+	rem := man & 0x1fff
+	if rem > 0x1000 || (rem == 0x1000 && v&1 == 1) {
+		v++
+	}
+	// A mantissa carry bumps the exponent; overflow rolls into Inf with
+	// the correct bit pattern either way.
+	v += uint32(exp) << 10
+	return sign | uint16(v)
+}
+
+// f16ToF32 widens a binary16 bit pattern to float32 exactly.
+func f16ToF32(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h >> 10 & 0x1f)
+	man := uint32(h & 0x3ff)
+	switch {
+	case exp == 0:
+		if man == 0 {
+			return math.Float32frombits(sign)
+		}
+		// Subnormal: normalize into a float32 exponent.
+		e := uint32(113)
+		for man&0x400 == 0 {
+			man <<= 1
+			e--
+		}
+		man &= 0x3ff
+		return math.Float32frombits(sign | e<<23 | man<<13)
+	case exp == 0x1f:
+		return math.Float32frombits(sign | 0x7f800000 | man<<13)
+	default:
+		return math.Float32frombits(sign | (exp+112)<<23 | man<<13)
+	}
+}

@@ -1,0 +1,53 @@
+package wire
+
+import (
+	"math"
+	"testing"
+)
+
+// TestF16RoundTripExhaustive proves the property the fuzz oracle relies
+// on: widening any binary16 pattern to float32 and narrowing it back is
+// the identity over all 65536 patterns — NaN payloads, subnormals, inf
+// and signed zeros included.
+func TestF16RoundTripExhaustive(t *testing.T) {
+	for i := 0; i <= 0xffff; i++ {
+		h := uint16(i)
+		if got := f32ToF16(f16ToF32(h)); got != h {
+			t.Fatalf("round trip %#04x -> %v -> %#04x", h, f16ToF32(h), got)
+		}
+	}
+}
+
+// TestF32ToF16Narrowing spot-checks the narrowing conversion's rounding
+// and edge behavior.
+func TestF32ToF16Narrowing(t *testing.T) {
+	cases := []struct {
+		in   float32
+		want uint16
+	}{
+		{0, 0x0000},
+		{float32(math.Copysign(0, -1)), 0x8000},
+		{1, 0x3c00},
+		{-2, 0xc000},
+		{65504, 0x7bff},                 // largest finite f16
+		{65520, 0x7c00},                 // rounds up past the max -> +inf
+		{100000, 0x7c00},                // overflow -> +inf
+		{-100000, 0xfc00},               // overflow -> -inf
+		{float32(math.Inf(1)), 0x7c00},  // +inf
+		{float32(math.Inf(-1)), 0xfc00}, // -inf
+		{6.103515625e-05, 0x0400},       // smallest normal
+		{5.960464477539063e-08, 0x0001}, // smallest subnormal
+		{1e-10, 0x0000},                 // underflow past subnormals
+		{1.0009765625, 0x3c01},          // 1 + 1ulp
+		{1.00048828125, 0x3c00},         // halfway 1 + 0.5ulp -> even (down)
+		{1.001464843750, 0x3c02},        // halfway 1 + 1.5ulp -> even (up)
+	}
+	for _, c := range cases {
+		if got := f32ToF16(c.in); got != c.want {
+			t.Errorf("f32ToF16(%v) = %#04x, want %#04x", c.in, got, c.want)
+		}
+	}
+	if got := f32ToF16(float32(math.NaN())); got&0x7c00 != 0x7c00 || got&0x3ff == 0 {
+		t.Errorf("f32ToF16(NaN) = %#04x, not a NaN pattern", got)
+	}
+}

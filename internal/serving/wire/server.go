@@ -23,11 +23,28 @@ import (
 
 // Endpoint is one resolvable service: exactly one of Gather/Predict is
 // set, matching the preamble kind. Quant selects the int8-quantized
-// gather-reply encoding for this service.
+// gather-reply encoding for this service; FP16 the half-precision one
+// (at most one of the two). Rows, when non-nil, is the zero-copy fast
+// path for rows-mode gathers: the service encodes rows straight into the
+// reply frame, skipping the intermediate GatherReply materialization.
 type Endpoint struct {
 	Gather  GatherService
 	Predict PredictService
+	Rows    RowSource
 	Quant   bool
+	FP16    bool
+}
+
+// encoding returns the gather-row wire encoding this endpoint serves.
+func (ep *Endpoint) encoding() byte {
+	switch {
+	case ep.Quant:
+		return EncInt8
+	case ep.FP16:
+		return EncFloat16
+	default:
+		return EncFloat32
+	}
 }
 
 // Resolver maps a preamble's (kind, service name) to an endpoint; an
@@ -154,6 +171,22 @@ func serveFrames(conn net.Conn, ep Endpoint) {
 // wire (the shard's Gather is synchronous, so nothing retains them).
 func handleGather(conn net.Conn, wmu *sync.Mutex, ep Endpoint, id uint64, req *GatherRequest) {
 	ctx, cancel := DeadlineContext(req.Deadline)
+	if ep.Rows != nil && len(req.Offsets) == 0 {
+		// Zero-copy rows mode: the service encodes rows straight from its
+		// storage into the reply frame — no intermediate float32 copy.
+		b := GetBuf(64 + len(req.Indices)*256) // capacity hint: dim-64 f32 rows
+		b = beginReply(b, id)
+		b, err := ep.Rows.AppendGatherRows(ctx, req, b, ep.encoding())
+		cancel()
+		FreeGatherRequest(req)
+		if err != nil {
+			PutBuf(b)
+			writeErrorReply(conn, wmu, id, err)
+			return
+		}
+		finishReply(conn, wmu, b)
+		return
+	}
 	var reply GatherReply
 	err := ep.Gather.Gather(ctx, req, &reply)
 	cancel()
@@ -164,7 +197,7 @@ func handleGather(conn net.Conn, wmu *sync.Mutex, ep Endpoint, id uint64, req *G
 	}
 	b := GetBuf(64 + 4*len(reply.Pooled))
 	b = beginReply(b, id)
-	b = AppendGatherReply(b, &reply, ep.Quant)
+	b = AppendGatherReplyEnc(b, &reply, ep.encoding())
 	FreeGatherReply(&reply)
 	finishReply(conn, wmu, b)
 }

@@ -45,6 +45,11 @@ const (
 	// followed by Dim int8s (value = scale * int8). Lossy; enabled per
 	// service via BuildOptions.WireQuant.
 	EncInt8 byte = 1
+	// EncFloat16 is the half-precision encoding: BatchSize*Dim IEEE 754
+	// binary16 values (round-to-nearest-even on encode, exact widening on
+	// decode; decoders always materialize float32). Lossy; enabled per
+	// service via BuildOptions.WireFP16.
+	EncFloat16 byte = 2
 )
 
 // MaxFrame bounds a frame body. A decoder rejects anything larger before
@@ -57,6 +62,12 @@ const MaxName = 256
 
 // GatherRequest asks an embedding shard to gather-and-pool one batch. The
 // indices are shard-local (already bucketized and rebased, Fig. 11c).
+//
+// An empty Offsets slice selects rows mode (gather path v2): the shard
+// returns one raw row per index instead of pooled-per-input sums, and the
+// reply's BatchSize equals len(Indices). The encoding is unchanged — a
+// zero offset count is already canonical — so rows mode needs no version
+// bump and rides every transport.
 type GatherRequest struct {
 	Table   int
 	Shard   int
@@ -148,6 +159,18 @@ type GatherService interface {
 // invokes.
 type PredictService interface {
 	Predict(ctx context.Context, req *PredictRequest, reply *PredictReply) error
+}
+
+// RowSource is the optional zero-copy fast path for rows-mode gathers
+// (len(req.Offsets) == 0): the service encodes one row per index straight
+// from its storage onto frame — an open reply frame positioned at the
+// payload — using enc (EncFloat32, EncInt8 or EncFloat16), and returns
+// the extended buffer. The transport skips the intermediate GatherReply
+// materialization (and its float32 copy) entirely. Implementations must
+// validate indices and honor ctx exactly as their Gather method does;
+// on error the returned buffer is discarded and an error reply is sent.
+type RowSource interface {
+	AppendGatherRows(ctx context.Context, req *GatherRequest, frame []byte, enc byte) ([]byte, error)
 }
 
 // CtxDeadlineNanos converts a context deadline to the wire encoding

@@ -150,6 +150,82 @@ func TestWireQuantPredictAccuracy(t *testing.T) {
 	}
 }
 
+// TestWireFP16PredictAccuracy builds twin TCP deployments — one with the
+// half-precision gather-reply encoding, one float32 — and checks every
+// prediction agrees within 1e-2: binary16 keeps ~3 decimal digits per
+// element, and the pooled sums average the per-row rounding out before
+// the MLPs. The fp16 variant also runs gather path v2 with the hot-row
+// cache on, so fp16 frames, rows-mode requests and the zero-copy reply
+// encoder are all exercised on one wire.
+func TestWireFP16PredictAccuracy(t *testing.T) {
+	cfg := liveConfig()
+	m, stats, gen := buildFixture(t, cfg)
+	exact, err := BuildElastic(m, stats, []int64{50, 200, cfg.RowsPerTable},
+		BuildOptions{Transport: TransportTCP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exact.Close()
+	half, err := BuildElastic(m.Clone(), stats, []int64{50, 200, cfg.RowsPerTable},
+		BuildOptions{Transport: TransportTCP, WireFP16: true, RowCacheBytes: 1 << 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer half.Close()
+	for i := 0; i < 24; i++ {
+		req := makeRequest(cfg, gen, uint64(3000+i))
+		var got, want PredictReply
+		if err := half.Predict(bg, req, &got); err != nil {
+			t.Fatal(err)
+		}
+		if err := exact.Predict(bg, req, &want); err != nil {
+			t.Fatal(err)
+		}
+		for j := range want.Probs {
+			if math.Abs(float64(got.Probs[j]-want.Probs[j])) > 1e-2 {
+				t.Fatalf("req %d input %d: fp16 %v drifted from float32 %v", i, j, got.Probs[j], want.Probs[j])
+			}
+		}
+	}
+	if _, err := BuildElastic(m.Clone(), stats, []int64{50, 200, cfg.RowsPerTable},
+		BuildOptions{Transport: TransportTCP, WireQuant: true, WireFP16: true}); err == nil {
+		t.Fatal("WireQuant+WireFP16 accepted; the encodings are mutually exclusive")
+	}
+}
+
+// TestGatherRowsOverTCP runs gather path v2 (rows-mode requests, shard-
+// side zero-copy reply encoding) over the binary TCP transport at full
+// float32 precision: raw rows ride the wire exactly, and the frontend
+// re-expansion accumulates in the monolith's order, so the 1e-5
+// equivalence bound of the v1 path must hold unchanged.
+func TestGatherRowsOverTCP(t *testing.T) {
+	cfg := liveConfig()
+	cfg.NumTables = 2 // fewer sockets
+	m, stats, gen := buildFixture(t, cfg)
+	mono := NewMonolith(m.Clone())
+	ld, err := BuildElastic(m, stats, []int64{50, cfg.RowsPerTable},
+		BuildOptions{Transport: TransportTCP, GatherRows: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ld.Close()
+	for i := 0; i < 8; i++ {
+		req := makeRequest(cfg, gen, uint64(4000+i))
+		var got, want PredictReply
+		if err := ld.Predict(bg, req, &got); err != nil {
+			t.Fatal(err)
+		}
+		if err := mono.Predict(bg, req, &want); err != nil {
+			t.Fatal(err)
+		}
+		for j := range want.Probs {
+			if math.Abs(float64(got.Probs[j]-want.Probs[j])) > 1e-5 {
+				t.Fatalf("req %d input %d: rows-mode TCP %v != monolith %v", i, j, got.Probs[j], want.Probs[j])
+			}
+		}
+	}
+}
+
 // slowPredict delays each reply by the duration in its model name's
 // request Dense[0] (milliseconds) and echoes that value back, so a test
 // can force out-of-order completion on one pipelined connection.
