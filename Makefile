@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short race race-repartition lifecycle-smoke bench bench-smoke bench-json bench-guard fuzz-smoke scenario-smoke scenario-guard fmt fmt-check vet lint-doc ci
+.PHONY: build test test-short race race-repartition lifecycle-smoke bench bench-smoke bench-json bench-guard fuzz-smoke scenario-smoke scenario-guard fmt fmt-check vet lint-doc lint-invariants ci
 
 build:
 	$(GO) build ./...
@@ -112,4 +112,14 @@ vet:
 lint-doc:
 	$(GO) run ./cmd/doccheck ./internal ./cmd ./examples
 
-ci: fmt-check vet lint-doc build test-short race race-repartition lifecycle-smoke bench-smoke fuzz-smoke
+# Invariant lint: the internal/analysis suite typechecks the tree with
+# go/types and enforces the hand-maintained pairing disciplines — epoch
+# pins released on every path, pooled wire buffers recycled, atomic
+# fields never mixed with plain access, contexts threaded first-param.
+# Intentional violations are annotated in place with
+# //lint:escape <pass> <reason>; see docs/ARCHITECTURE.md "Static
+# invariants".
+lint-invariants:
+	$(GO) run ./cmd/invariantcheck ./internal/... ./cmd/...
+
+ci: fmt-check vet lint-doc lint-invariants build test-short race race-repartition lifecycle-smoke bench-smoke fuzz-smoke

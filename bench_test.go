@@ -1182,7 +1182,7 @@ func BenchmarkServing_StressTestShard(b *testing.B) {
 	}
 	var qpsMax float64
 	for i := 0; i < b.N; i++ {
-		res, err := serving.StressTest(shard, newReq, serving.StressOptions{
+		res, err := serving.StressTest(context.Background(), shard, newReq, serving.StressOptions{
 			MaxConcurrency:   8,
 			RequestsPerLevel: 64,
 		})

@@ -6,13 +6,20 @@
 // docs/ARCHITECTURE.md gives the map, the package comments give the
 // per-package detail.
 //
+// Analyzer passes carry an extra obligation: every package under
+// internal/analysis/passes must state, in its package comment, the
+// invariant it enforces ("... is the invariant pass enforcing ...") —
+// a pass whose rule is undocumented cannot be reviewed against the
+// code it polices, nor sensibly suppressed with //lint:escape.
+//
 // Usage:
 //
 //	doccheck [root ...]   (default: ./internal ./cmd ./examples)
 //
 // A package passes when at least one of its non-test .go files carries a
-// doc comment immediately above its package clause. Test-only directories
-// are skipped. Exit status 1 lists every undocumented package.
+// doc comment immediately above its package clause. Test-only and
+// testdata directories are skipped (testdata holds analyzer fixtures,
+// not real packages). Exit status 1 lists every violation.
 package main
 
 import (
@@ -26,12 +33,21 @@ import (
 	"strings"
 )
 
-// checkDir reports whether the directory holds non-test Go files and, if
-// so, whether any of them documents the package.
-func checkDir(dir string) (hasGo, documented bool, err error) {
+// passDirPrefix marks the analyzer-pass packages that must document
+// their invariant, and passDocMarker is the phrase their package
+// comments must carry.
+const (
+	passDirPrefix = "internal/analysis/passes/"
+	passDocMarker = "invariant pass"
+)
+
+// checkDir reports whether the directory holds non-test Go files and,
+// if so, the first package doc comment found among them ("" when none
+// documents the package).
+func checkDir(dir string) (hasGo bool, doc string, err error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return false, false, err
+		return false, "", err
 	}
 	fset := token.NewFileSet()
 	for _, e := range entries {
@@ -44,13 +60,13 @@ func checkDir(dir string) (hasGo, documented bool, err error) {
 		// precedes it, so this stays cheap on large files.
 		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.PackageClauseOnly|parser.ParseComments)
 		if err != nil {
-			return hasGo, false, err
+			return hasGo, "", err
 		}
 		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
-			return true, true, nil
+			return true, f.Doc.Text(), nil
 		}
 	}
-	return hasGo, false, nil
+	return hasGo, "", nil
 }
 
 func main() {
@@ -58,7 +74,7 @@ func main() {
 	if len(roots) == 0 {
 		roots = []string{"./internal", "./cmd", "./examples"}
 	}
-	var missing []string
+	var violations []string
 	for _, root := range roots {
 		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 			if err != nil {
@@ -67,12 +83,23 @@ func main() {
 			if !d.IsDir() {
 				return nil
 			}
-			hasGo, documented, err := checkDir(path)
+			if d.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			hasGo, doc, err := checkDir(path)
 			if err != nil {
 				return err
 			}
-			if hasGo && !documented {
-				missing = append(missing, path)
+			if !hasGo {
+				return nil
+			}
+			if doc == "" {
+				violations = append(violations, path+": no godoc package comment")
+				return nil
+			}
+			rel := filepath.ToSlash(strings.TrimPrefix(path, "./"))
+			if strings.HasPrefix(rel, passDirPrefix) && !strings.Contains(doc, passDocMarker) {
+				violations = append(violations, path+": analyzer pass comment must state the invariant it enforces (\""+passDocMarker+" ...\")")
 			}
 			return nil
 		})
@@ -81,11 +108,11 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if len(missing) > 0 {
-		sort.Strings(missing)
-		fmt.Fprintln(os.Stderr, "doccheck: packages without a godoc package comment:")
-		for _, m := range missing {
-			fmt.Fprintf(os.Stderr, "  %s\n", m)
+	if len(violations) > 0 {
+		sort.Strings(violations)
+		fmt.Fprintln(os.Stderr, "doccheck: package documentation violations:")
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "  %s\n", v)
 		}
 		os.Exit(1)
 	}

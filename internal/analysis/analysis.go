@@ -1,0 +1,227 @@
+// Package analysis is a dependency-free static-analysis framework for
+// this module's invariant passes: it loads packages with go/parser,
+// typechecks them with go/types, runs registered passes over the typed
+// ASTs and reports findings as "file:line: [pass] message". It exists
+// because the serving stack's correctness now rests on hand-enforced
+// pairing invariants (epoch pins released, pooled buffers returned,
+// atomics never mixed with plain access, contexts threaded) that only
+// -race tests caught dynamically — a pass catches them at lint time on
+// every path, including paths no test exercises. The module stays at
+// zero external dependencies, like cmd/doccheck: no golang.org/x/tools.
+//
+// A pass is a named Run function over one typechecked package (a Unit).
+// Passes register with an Analyzer in an explicit, deterministic order;
+// findings come back stable-sorted by position. An intentional violation
+// is silenced in place with
+//
+//	//lint:escape <pass> <reason why the invariant is intentionally broken>
+//
+// on the offending line or the line directly above it. A suppression
+// that silences nothing is itself a finding (pass "escape"), so stale
+// opt-outs cannot linger after the code they excused is gone.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one reported invariant violation.
+type Finding struct {
+	// Pos locates the violation (file resolved through the loader fset).
+	Pos token.Position
+	// Pass names the pass that produced the finding ("escape" for
+	// suppression hygiene findings emitted by the framework itself).
+	Pass string
+	// Message states the violation.
+	Message string
+}
+
+// String renders the finding in the canonical file:line: [pass] message
+// form the driver prints and the fixtures' want-comments match against.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pass, f.Message)
+}
+
+// Unit is one typechecked package: the input every pass runs over.
+type Unit struct {
+	// Path is the package's import path within the module.
+	Path string
+	// Dir is the directory the package was loaded from.
+	Dir string
+	// Fset resolves every Pos in Files and Info.
+	Fset *token.FileSet
+	// Files holds the package's non-test files, sorted by filename.
+	Files []*ast.File
+	// Pkg is the typechecked package.
+	Pkg *types.Package
+	// Info carries full type information (Types, Defs, Uses, Selections).
+	Info *types.Info
+}
+
+// Pass is one registered invariant check.
+type Pass struct {
+	// Name identifies the pass in findings and //lint:escape comments.
+	Name string
+	// Doc is the one-line invariant the pass encodes (driver -list).
+	Doc string
+	// Run inspects one package and reports violations through report.
+	Run func(u *Unit, report func(pos token.Pos, msg string))
+}
+
+// EscapePass is the reserved pass name for suppression-hygiene findings
+// (malformed or unused //lint:escape comments).
+const EscapePass = "escape"
+
+// Analyzer runs passes in registration order and applies //lint:escape
+// suppressions to their findings.
+type Analyzer struct {
+	passes []Pass
+	byName map[string]bool
+}
+
+// NewAnalyzer returns an empty analyzer; register passes in the order
+// they should run (the order is preserved exactly).
+func NewAnalyzer() *Analyzer {
+	return &Analyzer{byName: map[string]bool{EscapePass: true}}
+}
+
+// Register appends a pass. Duplicate or reserved names are an error so
+// suppression comments stay unambiguous.
+func (a *Analyzer) Register(p Pass) error {
+	if p.Name == "" || p.Run == nil {
+		return fmt.Errorf("analysis: pass needs a name and a Run function")
+	}
+	if a.byName[p.Name] {
+		return fmt.Errorf("analysis: pass %q already registered", p.Name)
+	}
+	a.byName[p.Name] = true
+	a.passes = append(a.passes, p)
+	return nil
+}
+
+// Passes returns the registered pass names in registration order.
+func (a *Analyzer) Passes() []Pass { return append([]Pass(nil), a.passes...) }
+
+// Run executes every registered pass over every unit, drops findings
+// covered by //lint:escape suppressions, reports unused or malformed
+// suppressions, and returns the surviving findings stable-sorted by
+// (file, line, column) — findings on the same line keep pass
+// registration order.
+func (a *Analyzer) Run(units []*Unit) []Finding {
+	var out []Finding
+	for _, u := range units {
+		sup := suppressionsFor(u)
+		for _, p := range a.passes {
+			pass := p // capture
+			p.Run(u, func(pos token.Pos, msg string) {
+				position := u.Fset.Position(pos)
+				if sup.covers(position.Filename, position.Line, pass.Name) {
+					return
+				}
+				out = append(out, Finding{Pos: position, Pass: pass.Name, Message: msg})
+			})
+		}
+		out = append(out, sup.hygiene(a.byName)...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		return out[i].Pos.Column < out[j].Pos.Column
+	})
+	return out
+}
+
+// escapeMarker is the comment prefix that opens a suppression.
+const escapeMarker = "lint:escape"
+
+// suppression is one parsed //lint:escape comment.
+type suppression struct {
+	pos    token.Position
+	pass   string // "" when malformed
+	reason string
+	used   bool
+}
+
+// suppressionIndex maps (file, line) to the suppressions that cover it.
+// A comment covers its own line and the line directly below it, so both
+// trailing and line-above placements work.
+type suppressionIndex struct {
+	byLine map[string]map[int][]*suppression
+	all    []*suppression
+}
+
+// suppressionsFor scans a unit's comments for //lint:escape markers.
+func suppressionsFor(u *Unit) *suppressionIndex {
+	idx := &suppressionIndex{byLine: map[string]map[int][]*suppression{}}
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, escapeMarker) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, escapeMarker))
+				s := &suppression{pos: u.Fset.Position(c.Pos())}
+				if fields := strings.Fields(rest); len(fields) > 0 {
+					s.pass = fields[0]
+					s.reason = strings.TrimSpace(rest[len(fields[0]):])
+				}
+				idx.all = append(idx.all, s)
+				file := idx.byLine[s.pos.Filename]
+				if file == nil {
+					file = map[int][]*suppression{}
+					idx.byLine[s.pos.Filename] = file
+				}
+				file[s.pos.Line] = append(file[s.pos.Line], s)
+				file[s.pos.Line+1] = append(file[s.pos.Line+1], s)
+			}
+		}
+	}
+	return idx
+}
+
+// covers reports whether a suppression for the pass covers file:line,
+// marking it used.
+func (idx *suppressionIndex) covers(file string, line int, pass string) bool {
+	hit := false
+	for _, s := range idx.byLine[file][line] {
+		if s.pass == pass {
+			s.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// hygiene returns findings for malformed, unknown-pass and unused
+// suppressions — an opt-out that excuses nothing is itself a violation.
+func (idx *suppressionIndex) hygiene(known map[string]bool) []Finding {
+	var out []Finding
+	for _, s := range idx.all {
+		switch {
+		case s.pass == "":
+			out = append(out, Finding{Pos: s.pos, Pass: EscapePass,
+				Message: "malformed //lint:escape comment: want //lint:escape <pass> <reason>"})
+		case !known[s.pass]:
+			out = append(out, Finding{Pos: s.pos, Pass: EscapePass,
+				Message: fmt.Sprintf("//lint:escape names unknown pass %q", s.pass)})
+		case !s.used:
+			out = append(out, Finding{Pos: s.pos, Pass: EscapePass,
+				Message: fmt.Sprintf("unused //lint:escape suppression for pass %q (nothing to silence here)", s.pass)})
+		case s.reason == "":
+			out = append(out, Finding{Pos: s.pos, Pass: EscapePass,
+				Message: fmt.Sprintf("//lint:escape %s needs a reason explaining the intentional violation", s.pass)})
+		}
+	}
+	return out
+}

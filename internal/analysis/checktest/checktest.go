@@ -1,0 +1,135 @@
+// Package checktest is the fixture harness for the invariant passes:
+// it loads testdata fixture packages through the same loader the
+// invariantcheck driver uses, runs one pass over them through a fresh
+// Analyzer (so //lint:escape suppression and hygiene behave exactly as
+// in production), and asserts the findings line up with the fixtures'
+// want comments in both directions — every want must be matched by a
+// finding on its line, and every finding must be expected by a want.
+//
+// A want comment is the analysistest convention, hand-rolled:
+//
+//	wire.GetFloat32(n) // want `result is discarded`
+//
+// The backquoted (or double-quoted) strings are regular expressions
+// matched against the finding rendered as "[pass] message", so a want
+// can pin the pass name as well as the message. Several wants on one
+// line expect several findings on that line.
+package checktest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantMarker opens a want comment.
+const wantMarker = "want "
+
+// want is one expected finding parsed from a fixture comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads the fixture package directories (relative to the calling
+// test's own directory), runs the pass over every one of them, and
+// fails the test on any finding/want mismatch.
+func Run(t *testing.T, pass analysis.Pass, fixtureDirs ...string) {
+	t.Helper()
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("checktest: %v", err)
+	}
+	var units []*analysis.Unit
+	for _, dir := range fixtureDirs {
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			t.Fatalf("checktest: %v", err)
+		}
+		rel, err := filepath.Rel(loader.ModuleRoot, abs)
+		if err != nil {
+			t.Fatalf("checktest: fixture %s is outside the module: %v", dir, err)
+		}
+		u, err := loader.LoadDir(filepath.ToSlash(rel))
+		if err != nil {
+			t.Fatalf("checktest: loading fixture %s: %v", dir, err)
+		}
+		units = append(units, u)
+	}
+
+	a := analysis.NewAnalyzer()
+	if err := a.Register(pass); err != nil {
+		t.Fatalf("checktest: %v", err)
+	}
+	findings := a.Run(units)
+	wants := collectWants(t, units)
+
+	for _, f := range findings {
+		text := fmt.Sprintf("[%s] %s", f.Pass, f.Message)
+		if !claimWant(wants, f.Pos.Filename, f.Pos.Line, text) {
+			t.Errorf("unexpected finding: %s", f.String())
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched want %s", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// claimWant marks the first unmatched want on file:line whose regexp
+// matches text, reporting whether one was found.
+func claimWant(wants []*want, file string, line int, text string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.re.MatchString(text) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses every want comment in the loaded fixtures.
+func collectWants(t *testing.T, units []*analysis.Unit) []*want {
+	t.Helper()
+	var wants []*want
+	for _, u := range units {
+		for _, f := range u.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, wantMarker) {
+						continue
+					}
+					pos := u.Fset.Position(c.Pos())
+					rest := strings.TrimSpace(strings.TrimPrefix(text, wantMarker))
+					for rest != "" {
+						quoted, err := strconv.QuotedPrefix(rest)
+						if err != nil {
+							t.Fatalf("%s:%d: malformed want comment %q: %v", pos.Filename, pos.Line, c.Text, err)
+						}
+						pattern, err := strconv.Unquote(quoted)
+						if err != nil {
+							t.Fatalf("%s:%d: unquoting want %s: %v", pos.Filename, pos.Line, quoted, err)
+						}
+						re, err := regexp.Compile(pattern)
+						if err != nil {
+							t.Fatalf("%s:%d: want pattern %s: %v", pos.Filename, pos.Line, quoted, err)
+						}
+						wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: quoted})
+						rest = strings.TrimSpace(rest[len(quoted):])
+					}
+				}
+			}
+		}
+	}
+	return wants
+}

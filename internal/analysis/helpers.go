@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file holds the small typed-AST helpers every pass leans on:
+// callee resolution through go/types (so passes match functions by
+// identity, not by text) and a parent map for context-sensitive checks
+// like "is this selector the receiver of a method call".
+
+// CalleeFunc resolves a call expression to the *types.Func it invokes
+// (nil for calls through function values, conversions and built-ins).
+// Both qualified (pkg.F, recv.M) and unqualified (F) call forms resolve.
+func (u *Unit) CalleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := u.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// CalleeIn reports whether the call invokes a function named one of
+// names whose defining package is named pkgName. Matching by package
+// name (not full path) lets the testdata fixtures stand in for the real
+// serving/wire packages.
+func (u *Unit) CalleeIn(call *ast.CallExpr, pkgName string, names ...string) bool {
+	fn := u.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != pkgName {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// ObjectOf returns the object an identifier denotes (definition or use).
+func (u *Unit) ObjectOf(id *ast.Ident) types.Object {
+	if obj := u.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return u.Info.Uses[id]
+}
+
+// ReceiverNamed reports whether fn is a method whose receiver's named
+// type is typeName (pointer receivers included).
+func ReceiverNamed(fn *types.Func, typeName string) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == typeName
+}
+
+// Parents maps every node in the file to its parent, for walks that
+// need the syntactic context of a match.
+func Parents(f *ast.File) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -1,0 +1,104 @@
+// Package leakcheck is a goroutine-leak guard for TestMain: after a
+// package's tests pass, it polls the full goroutine dump until every
+// goroutine created by this module's code has exited (or a settle
+// window elapses), and fails the test binary with the leaked stacks if
+// any remain. The serving stack is built out of background loops —
+// pool workers, autoscalers, batchers, wire servers — and a test that
+// forgets to stop one passes today and poisons every later test's
+// timing; the guard turns that silent leak into a hard failure at the
+// point the leak was introduced. Known-benign long-lived goroutines
+// are excused by substring with Ignore.
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// settleWindow bounds how long Main waits for goroutines that are
+// already shutting down (closed channels, canceled contexts) to exit.
+const settleWindow = 2 * time.Second
+
+// Option configures the guard.
+type Option func(*config)
+
+type config struct {
+	ignores []string
+}
+
+// Ignore excuses goroutines whose stack contains the substring —
+// for deliberately detached loops a package cannot join on.
+func Ignore(substr string) Option {
+	return func(c *config) { c.ignores = append(c.ignores, substr) }
+}
+
+// Main runs the package's tests and then fails the process if
+// module-created goroutines are still running after the settle window.
+// Use it as the whole body of TestMain:
+//
+//	func TestMain(m *testing.M) { leakcheck.Main(m) }
+func Main(m *testing.M, opts ...Option) {
+	cfg := &config{}
+	for _, o := range opts {
+		o(cfg)
+	}
+	code := m.Run()
+	if code == 0 {
+		if leaked := settle(cfg); len(leaked) > 0 {
+			fmt.Fprintf(os.Stderr, "leakcheck: %d goroutine(s) created by module code leaked past the tests:\n\n%s\n",
+				len(leaked), strings.Join(leaked, "\n\n"))
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// settle polls for module goroutines until none remain or the window
+// closes, returning whatever is still alive.
+func settle(cfg *config) []string {
+	deadline := time.Now().Add(settleWindow)
+	for {
+		leaked := moduleGoroutines(cfg)
+		if len(leaked) == 0 || time.Now().After(deadline) {
+			return leaked
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// moduleGoroutines returns the stacks of goroutines created by this
+// module's code (their "created by" frame references a repro/ package),
+// minus the ignored ones. Runtime, testing-harness and stdlib-spawned
+// goroutines never match, so the guard cannot flake on them.
+func moduleGoroutines(cfg *config) []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var leaked []string
+	for _, stack := range strings.Split(string(buf), "\n\n") {
+		if !strings.Contains(stack, "created by repro/") {
+			continue
+		}
+		ignored := false
+		for _, substr := range cfg.ignores {
+			if strings.Contains(stack, substr) {
+				ignored = true
+				break
+			}
+		}
+		if !ignored {
+			leaked = append(leaked, stack)
+		}
+	}
+	return leaked
+}

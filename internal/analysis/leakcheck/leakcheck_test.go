@@ -1,0 +1,45 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMain dogfoods the guard on this package's own tests.
+func TestMain(m *testing.M) { Main(m) }
+
+// TestModuleGoroutineDetection proves the filter catches a goroutine
+// created by module code, that Ignore excuses it by substring, and
+// that settle sees it drain once unblocked.
+func TestModuleGoroutineDetection(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-block
+	}()
+	<-started
+
+	leaked := moduleGoroutines(&config{})
+	if len(leaked) == 0 {
+		t.Fatal("blocked module goroutine not detected")
+	}
+	found := false
+	for _, s := range leaked {
+		if strings.Contains(s, "TestModuleGoroutineDetection") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("leak report does not name the creating test: %v", leaked)
+	}
+
+	if got := moduleGoroutines(&config{ignores: []string{"leakcheck"}}); len(got) != 0 {
+		t.Errorf("Ignore(leakcheck) did not excuse the goroutine: %v", got)
+	}
+
+	close(block)
+	if got := settle(&config{}); len(got) != 0 {
+		t.Errorf("goroutine still reported after unblocking: %v", got)
+	}
+}

@@ -1,0 +1,134 @@
+// Package atomicfield is the invariant pass enforcing all-or-nothing
+// atomicity on struct fields: a field accessed even once through a
+// sync/atomic call (atomic.LoadInt64(&s.f), atomic.AddInt64(&s.f, 1),
+// ...) must be accessed atomically everywhere in the package — a single
+// plain read or write beside the atomic ones is a data race the
+// compiler happily builds. Fields declared with the typed atomics
+// (atomic.Int64, atomic.Bool, atomic.Pointer[T], atomic.Value, ...) are
+// checked for the misuses the type system still allows: copying the
+// value, assigning it, or passing it by value all duplicate the
+// underlying word and silently fork the counter. This covers the mixed
+// plain/atomic access go vet does not flag. Deliberate pre-publication
+// plain access opts out with //lint:escape atomicfield <reason>;
+// initialization inside a composite literal is always allowed.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Pass returns the registered form of the atomicfield pass.
+func Pass() analysis.Pass {
+	return analysis.Pass{
+		Name: "atomicfield",
+		Doc:  "fields touched by sync/atomic (calls or typed atomics) must be accessed atomically everywhere",
+		Run:  run,
+	}
+}
+
+// atomicCallFuncs matches the sync/atomic package-level accessors.
+func isAtomicCallFunc(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	for _, prefix := range []string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(fn.Name(), prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// isTypedAtomic reports whether t is one of sync/atomic's typed values.
+func isTypedAtomic(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+func run(u *analysis.Unit, report func(token.Pos, string)) {
+	// Phase 1: collect every field reached through a sync/atomic call,
+	// and remember those call sites so phase 2 can excuse them.
+	atomicFields := map[types.Object]string{} // field -> a position string for messages
+	atomicUses := map[*ast.SelectorExpr]bool{}
+	for _, f := range u.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCallFunc(u.CalleeFunc(call)) || len(call.Args) == 0 {
+				return true
+			}
+			un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				return true
+			}
+			sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if field := fieldOf(u, sel); field != nil {
+				if _, seen := atomicFields[field]; !seen {
+					atomicFields[field] = u.Fset.Position(sel.Pos()).String()
+				}
+				atomicUses[sel] = true
+			}
+			return true
+		})
+	}
+
+	// Phase 2: every other selector landing on one of those fields, and
+	// every value-context use of a typed atomic field, is a finding.
+	for _, f := range u.Files {
+		parents := analysis.Parents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			field := fieldOf(u, sel)
+			if field == nil {
+				return true
+			}
+			if first, mixed := atomicFields[field]; mixed && !atomicUses[sel] {
+				report(sel.Pos(), "plain access to field "+field.Name()+
+					" which is accessed atomically at "+first+": use sync/atomic everywhere")
+				return true
+			}
+			if isTypedAtomic(field.Type()) && !typedUseOK(sel, parents) {
+				report(sel.Pos(), "atomic field "+field.Name()+
+					" used as a plain value: call its methods (Load/Store/...) instead of copying or assigning it")
+			}
+			return true
+		})
+	}
+}
+
+// fieldOf resolves a selector to the struct field it denotes (nil for
+// methods, package selectors and locals).
+func fieldOf(u *analysis.Unit, sel *ast.SelectorExpr) *types.Var {
+	s, ok := u.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj().(*types.Var)
+}
+
+// typedUseOK reports whether a typed-atomic field selector appears in a
+// sanctioned context: as the base of a method call (x.f.Load()) or
+// under an address-of (&x.f, passing a pointer keeps one copy).
+func typedUseOK(sel *ast.SelectorExpr, parents map[ast.Node]ast.Node) bool {
+	switch p := parents[sel].(type) {
+	case *ast.SelectorExpr:
+		return p.X == ast.Expr(sel) // x.f.Load(): base of the method selector
+	case *ast.UnaryExpr:
+		return p.Op == token.AND
+	}
+	return false
+}

@@ -1,0 +1,11 @@
+package atomicfield
+
+import (
+	"testing"
+
+	"repro/internal/analysis/checktest"
+)
+
+func TestAtomicFieldFixtures(t *testing.T) {
+	checktest.Run(t, Pass(), "testdata/src/counters")
+}

@@ -1,0 +1,46 @@
+// Package counters is the atomicfield fixture: fields reached through
+// sync/atomic calls that are also accessed plainly, typed atomics used
+// as plain values, and the sanctioned accesses the pass must not flag.
+package counters
+
+import "sync/atomic"
+
+type stats struct {
+	hits  int64
+	total atomic.Int64
+	name  string
+}
+
+func (s *stats) bump() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func (s *stats) read() int64 {
+	return s.hits // want `\[atomicfield\] plain access to field hits`
+}
+
+func resetHits(s *stats) {
+	s.hits = 0 // want `plain access to field hits`
+}
+
+func copyTyped(s *stats) atomic.Int64 {
+	return s.total // want `atomic field total used as a plain value`
+}
+
+func okTypedMethods(s *stats) int64 {
+	s.total.Store(1)
+	return s.total.Load()
+}
+
+func okTypedPointer(s *stats) *atomic.Int64 {
+	return &s.total
+}
+
+func okPlainField(s *stats) string {
+	return s.name
+}
+
+func suppressedPlainRead(s *stats) int64 {
+	//lint:escape atomicfield read before the struct is published to any other goroutine
+	return s.hits
+}

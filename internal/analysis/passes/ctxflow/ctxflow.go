@@ -1,0 +1,101 @@
+// Package ctxflow is the invariant pass enforcing context threading on
+// the serving stack's blocking paths: cancellation only works if every
+// RPC and queue wait inherits the caller's context, so (1) a new root
+// context (context.Background or context.TODO) may be introduced only
+// in package main, in tests, or at an annotated root (a server decoding
+// a wire deadline, a detached control loop); (2) a function that takes
+// a context.Context must take it as its first parameter, the position
+// every caller and linter expects; (3) nil must never be passed where a
+// callee expects a context — pass the caller's ctx or an annotated
+// root. Legitimate roots opt out with //lint:escape ctxflow <reason>.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Pass returns the registered form of the ctxflow pass.
+func Pass() analysis.Pass {
+	return analysis.Pass{
+		Name: "ctxflow",
+		Doc:  "blocking call trees thread a first-param context.Context; new roots only in main/tests or annotated",
+		Run:  run,
+	}
+}
+
+func run(u *analysis.Unit, report func(token.Pos, string)) {
+	if u.Pkg.Name() == "main" {
+		return // process entry points are where roots belong
+	}
+	for _, f := range u.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.FuncDecl:
+				checkSignature(u, v, report)
+			case *ast.CallExpr:
+				checkRootCall(u, v, report)
+				checkNilContextArg(u, v, report)
+			}
+			return true
+		})
+	}
+}
+
+// checkSignature flags a context.Context parameter anywhere but first.
+func checkSignature(u *analysis.Unit, fd *ast.FuncDecl, report func(token.Pos, string)) {
+	if fd.Type.Params == nil {
+		return
+	}
+	pos := 0
+	for _, field := range fd.Type.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if t := u.Info.Types[field.Type]; analysis.IsContextType(t.Type) && pos > 0 {
+			report(field.Pos(), "context.Context must be the first parameter of "+fd.Name.Name)
+		}
+		pos += n
+	}
+}
+
+// checkRootCall flags context.Background()/context.TODO() — each one
+// starts a fresh cancellation tree, detaching everything below it from
+// the caller's deadline.
+func checkRootCall(u *analysis.Unit, call *ast.CallExpr, report func(token.Pos, string)) {
+	fn := u.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return
+	}
+	switch fn.Name() {
+	case "Background":
+		report(call.Pos(), "context.Background() outside main/tests starts a new root: thread the caller's context (or annotate a deliberate root)")
+	case "TODO":
+		report(call.Pos(), "context.TODO() marks unfinished context threading: thread the caller's context")
+	}
+}
+
+// checkNilContextArg flags a nil literal passed where the callee's
+// first parameter is a context.Context.
+func checkNilContextArg(u *analysis.Unit, call *ast.CallExpr, report func(token.Pos, string)) {
+	fn := u.CalleeFunc(call)
+	if fn == nil || len(call.Args) == 0 {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	if sig.Params().Len() == 0 || !analysis.IsContextType(sig.Params().At(0).Type()) {
+		return
+	}
+	if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && id.Name == "nil" {
+		if _, isNil := u.ObjectOf(id).(*types.Nil); isNil {
+			report(call.Args[0].Pos(), "nil passed as the context argument of "+fn.Name()+": pass the caller's ctx")
+		}
+	}
+}

@@ -1,0 +1,11 @@
+package ctxflow
+
+import (
+	"testing"
+
+	"repro/internal/analysis/checktest"
+)
+
+func TestCtxFlowFixtures(t *testing.T) {
+	checktest.Run(t, Pass(), "testdata/src/flow")
+}

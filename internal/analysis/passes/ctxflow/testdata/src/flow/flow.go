@@ -1,0 +1,37 @@
+// Package flow is the ctxflow fixture: fresh context roots outside
+// main, context parameters in the wrong position, nil contexts, and
+// the correctly threaded calls the pass must leave alone.
+package flow
+
+import "context"
+
+func query(ctx context.Context, q string) error {
+	_ = ctx
+	_ = q
+	return nil
+}
+
+func startsRoot(q string) error {
+	return query(context.Background(), q) // want `\[ctxflow\] context.Background\(\) outside main/tests`
+}
+
+func todoRoot(q string) error {
+	return query(context.TODO(), q) // want `context.TODO\(\) marks unfinished context threading`
+}
+
+func misplaced(q string, ctx context.Context) error { // want `context.Context must be the first parameter of misplaced`
+	return query(ctx, q)
+}
+
+func passesNil(q string) error {
+	return query(nil, q) // want `nil passed as the context argument of query`
+}
+
+func okThreaded(ctx context.Context, q string) error {
+	return query(ctx, q)
+}
+
+func deliberateRoot() context.Context {
+	//lint:escape ctxflow the detached control loop in this fixture mints its own root by design
+	return context.Background()
+}

@@ -1,0 +1,11 @@
+package epochpin
+
+import (
+	"testing"
+
+	"repro/internal/analysis/checktest"
+)
+
+func TestEpochPinFixtures(t *testing.T) {
+	checktest.Run(t, Pass(), "testdata/src/serving")
+}

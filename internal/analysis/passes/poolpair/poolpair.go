@@ -1,0 +1,286 @@
+// Package poolpair is the invariant pass enforcing the wire buffer
+// pools' pairing discipline: every slice drawn from wire.GetFloat32,
+// wire.GetInt64, wire.GetInt32 or wire.GetBuf must, within the
+// acquiring function, either be recycled (wire.Put*/wire.Free*), be
+// stored into one of the tracked pooled fields that downstream code
+// frees (Pooled, Indices, Offsets, Dense — the fields the wire.Free*
+// helpers recycle), or be handed to a releasing sink on the allowlist
+// (the reply-frame writers that PutBuf after the write). A pooled slice
+// that is merely dropped shrinks the pool back to allocation on every
+// request; one returned to an untracked caller leaks the recycling
+// obligation across an API boundary; and a double Put corrupts the pool
+// by letting two owners share one backing array. Intentional handoffs
+// opt out with //lint:escape poolpair <reason>.
+package poolpair
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// getFuncs are the pool sources, putFuncs their recyclers, and
+// freeFuncs the struct-level recyclers — all in the package named wire.
+var (
+	getFuncs  = []string{"GetFloat32", "GetInt64", "GetInt32", "GetBuf"}
+	putFuncs  = []string{"PutFloat32", "PutInt64", "PutInt32", "PutBuf"}
+	freeFuncs = []string{"FreeGatherRequest", "FreeGatherReply", "FreePredictRequest"}
+)
+
+// trackedFields are struct fields the wire.Free* helpers recycle:
+// storing a pooled slice there is the sanctioned way to pass ownership
+// across the codec boundary.
+var trackedFields = map[string]bool{"Pooled": true, "Indices": true, "Offsets": true, "Dense": true}
+
+// sinkFuncs take a pooled buffer and guarantee its recycling themselves
+// (the wire server's reply writers PutBuf once the frame is written).
+var sinkFuncs = map[string]bool{"finishReply": true}
+
+// Pass returns the registered form of the poolpair pass.
+func Pass() analysis.Pass {
+	return analysis.Pass{
+		Name: "poolpair",
+		Doc:  "wire.Get* pool slices must be Put, stored into a tracked pooled field, or handed to a releasing sink in the same function",
+		Run:  run,
+	}
+}
+
+func run(u *analysis.Unit, report func(token.Pos, string)) {
+	for _, f := range u.Files {
+		parents := analysis.Parents(f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				checkFunc(u, fd, parents, report)
+			}
+		}
+	}
+}
+
+func isGet(u *analysis.Unit, call *ast.CallExpr) bool {
+	return u.CalleeIn(call, "wire", getFuncs...)
+}
+
+// tracked is one pooled slice bound in the function: the variable it
+// lives in, plus an optional field path when it was built into a
+// composite literal (out := Matrix{Data: wire.GetFloat32(n)}).
+type tracked struct {
+	obj   types.Object
+	field string // "" when the variable is the slice itself
+	pos   token.Pos
+	get   string // source function name, for messages
+}
+
+func checkFunc(u *analysis.Unit, fd *ast.FuncDecl, parents map[ast.Node]ast.Node, report func(token.Pos, string)) {
+	var tracks []*tracked
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isGet(u, call) {
+			return true
+		}
+		name := u.CalleeFunc(call).Name()
+		if tr := bindGet(u, call, name, parents, report); tr != nil {
+			tracks = append(tracks, tr)
+		}
+		return true
+	})
+	for _, tr := range tracks {
+		auditTracked(u, fd, tr, report)
+	}
+	auditDoublePut(u, fd, report)
+}
+
+// bindGet classifies where one wire.Get* result lands. It returns a
+// tracked binding to audit, or nil when the slice is already settled
+// (tracked-field store, sanctioned sink) or already reported.
+func bindGet(u *analysis.Unit, call *ast.CallExpr, name string, parents map[ast.Node]ast.Node, report func(token.Pos, string)) *tracked {
+	switch p := parents[call].(type) {
+	case *ast.AssignStmt:
+		for i, rhs := range p.Rhs {
+			if rhs != ast.Expr(call) || i >= len(p.Lhs) {
+				continue
+			}
+			switch lhs := p.Lhs[i].(type) {
+			case *ast.Ident:
+				if lhs.Name == "_" {
+					report(call.Pos(), name+" result is discarded: the pooled slice is never recycled")
+					return nil
+				}
+				return &tracked{obj: u.ObjectOf(lhs), pos: call.Pos(), get: name}
+			case *ast.SelectorExpr:
+				if trackedFields[lhs.Sel.Name] {
+					return nil // ownership handed to the tracked field
+				}
+				report(call.Pos(), name+" result is stored into untracked field "+lhs.Sel.Name+
+					": nothing downstream recycles it")
+				return nil
+			}
+		}
+	case *ast.KeyValueExpr:
+		if key, ok := p.Key.(*ast.Ident); ok {
+			if trackedFields[key.Name] {
+				return nil
+			}
+			// Composite literal assigned to a variable: track var.field.
+			if lit, ok := parents[p].(*ast.CompositeLit); ok {
+				if as, ok := parents[lit].(*ast.AssignStmt); ok && len(as.Lhs) == 1 {
+					if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+						return &tracked{obj: u.ObjectOf(id), field: key.Name, pos: call.Pos(), get: name}
+					}
+				}
+			}
+			report(call.Pos(), name+" result is built into a literal that is never recycled")
+			return nil
+		}
+	case *ast.CallExpr:
+		if fn := u.CalleeFunc(p); fn != nil && (sinkFuncs[fn.Name()] || inList(fn.Name(), putFuncs)) {
+			return nil
+		}
+		report(call.Pos(), name+" result is passed straight to a non-sink call: recycle it in this function")
+		return nil
+	case *ast.ExprStmt:
+		report(call.Pos(), name+" result is discarded: the pooled slice is never recycled")
+		return nil
+	case *ast.ReturnStmt:
+		report(call.Pos(), name+" result is returned to an untracked caller: the recycling obligation leaks")
+		return nil
+	}
+	return nil // other expression contexts: settled elsewhere
+}
+
+func inList(name string, list []string) bool {
+	for _, n := range list {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// auditTracked verifies a bound pooled slice reaches a Put, a tracked
+// field, or a sink somewhere in the function, and flags returning it.
+func auditTracked(u *analysis.Unit, fd *ast.FuncDecl, tr *tracked, report func(token.Pos, string)) {
+	settled := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if settled {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.CallExpr:
+			fn := u.CalleeFunc(s)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			isRelease := fn.Pkg().Name() == "wire" && (inList(fn.Name(), putFuncs) || inList(fn.Name(), freeFuncs))
+			if !isRelease && !sinkFuncs[fn.Name()] {
+				return true
+			}
+			for _, arg := range s.Args {
+				if matchesTracked(u, arg, tr) {
+					settled = true
+				}
+			}
+		case *ast.AssignStmt:
+			// y.Pooled = x (or = x[...]): ownership moves to the field.
+			for i, lhs := range s.Lhs {
+				sel, ok := lhs.(*ast.SelectorExpr)
+				if !ok || !trackedFields[sel.Sel.Name] || i >= len(s.Rhs) {
+					continue
+				}
+				if refersToTracked(u, s.Rhs[i], tr) {
+					settled = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range s.Results {
+				if matchesTracked(u, res, tr) {
+					report(s.Pos(), tr.get+" slice is returned to an untracked caller: the recycling obligation leaks")
+					settled = true
+				}
+			}
+		}
+		return !settled
+	})
+	if !settled {
+		report(tr.pos, tr.get+" slice is neither Put back, stored into a tracked pooled field, nor passed to a releasing sink in this function")
+	}
+}
+
+// matchesTracked reports whether expr is exactly the tracked slice
+// (x, x.field, or a reslice x[...] of either).
+func matchesTracked(u *analysis.Unit, expr ast.Expr, tr *tracked) bool {
+	expr = ast.Unparen(expr)
+	if sl, ok := expr.(*ast.SliceExpr); ok {
+		expr = ast.Unparen(sl.X)
+	}
+	if tr.field == "" {
+		id, ok := expr.(*ast.Ident)
+		return ok && u.ObjectOf(id) == tr.obj
+	}
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != tr.field {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && u.ObjectOf(id) == tr.obj
+}
+
+// refersToTracked reports whether the subtree mentions the tracked
+// slice at all (used for stores whose RHS wraps it in an expression).
+func refersToTracked(u *analysis.Unit, n ast.Node, tr *tracked) bool {
+	found := false
+	ast.Inspect(n, func(nd ast.Node) bool {
+		if id, ok := nd.(*ast.Ident); ok && u.ObjectOf(id) == tr.obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// auditDoublePut flags two Put calls on the same plain variable within
+// one statement list with no reassignment between them — after the
+// first Put the pool owns the array, so the second hands out a buffer
+// two callers will write concurrently.
+func auditDoublePut(u *analysis.Unit, fd *ast.FuncDecl, report func(token.Pos, string)) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		lastPut := map[types.Object]bool{}
+		for _, stmt := range block.List {
+			if as, ok := stmt.(*ast.AssignStmt); ok {
+				for _, lhs := range as.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						delete(lastPut, u.ObjectOf(id))
+					}
+				}
+				continue
+			}
+			es, ok := stmt.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok || !u.CalleeIn(call, "wire", putFuncs...) || len(call.Args) != 1 {
+				continue
+			}
+			id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := u.ObjectOf(id)
+			if obj == nil {
+				continue
+			}
+			if lastPut[obj] {
+				report(call.Pos(), "double Put of pooled slice "+id.Name+": the pool already owns this backing array")
+			}
+			lastPut[obj] = true
+		}
+		return true
+	})
+}

@@ -1,0 +1,11 @@
+package poolpair
+
+import (
+	"testing"
+
+	"repro/internal/analysis/checktest"
+)
+
+func TestPoolPairFixtures(t *testing.T) {
+	checktest.Run(t, Pass(), "testdata/src/wire", "testdata/src/consumer")
+}

@@ -1,0 +1,112 @@
+// Package consumer is the poolpair fixture's client side: functions
+// that leak, recycle, store, return and double-Put pooled wire slices
+// in every shape the pass must classify.
+package consumer
+
+import "repro/internal/analysis/passes/poolpair/testdata/src/wire"
+
+type holder struct{ scratch []float32 }
+
+type matrix struct {
+	Rows    int
+	Scratch []float32
+}
+
+func leaks(n int) {
+	buf := wire.GetFloat32(n) // want `\[poolpair\] GetFloat32 slice is neither Put back`
+	_ = buf
+}
+
+func discards(n int) {
+	wire.GetFloat32(n) // want `result is discarded`
+}
+
+func blankBound(n int) {
+	_ = wire.GetInt64(n) // want `result is discarded`
+}
+
+func returnsLeak(n int) []float32 {
+	return wire.GetFloat32(n) // want `returned to an untracked caller`
+}
+
+func untrackedField(n int) *holder {
+	h := &holder{}
+	h.scratch = wire.GetFloat32(n) // want `untracked field scratch`
+	return h
+}
+
+func compositeLeak(n int) {
+	m := matrix{Scratch: wire.GetFloat32(n)} // want `neither Put back`
+	_ = m
+}
+
+func passesToNonSink(n int) {
+	process(wire.GetFloat32(n)) // want `non-sink call`
+}
+
+func doublePut(n int) {
+	buf := wire.GetFloat32(n)
+	wire.PutFloat32(buf)
+	wire.PutFloat32(buf) // want `double Put of pooled slice buf`
+}
+
+func okPut(n int) float32 {
+	buf := wire.GetFloat32(n)
+	sum := buf[0]
+	wire.PutFloat32(buf)
+	return sum
+}
+
+func okReuseAfterReassign(n int) {
+	buf := wire.GetFloat32(n)
+	wire.PutFloat32(buf)
+	buf = wire.GetFloat32(n)
+	wire.PutFloat32(buf)
+}
+
+func okTrackedStore(n int, reply *wire.GatherReply) {
+	out := wire.GetFloat32(n)
+	reply.Pooled = out
+}
+
+func okDirectFieldStore(n int, reply *wire.GatherReply) {
+	reply.Dense = wire.GetFloat32(n)
+}
+
+func okCompositeThenPut(n int) {
+	m := matrix{Rows: 1, Scratch: wire.GetFloat32(n)}
+	wire.PutFloat32(m.Scratch)
+}
+
+func okResliceStore(n int, reply *wire.GatherReply) {
+	out := wire.GetFloat32(n)
+	reply.Pooled = out[:n/2]
+}
+
+func okSinkHandoff(n int) {
+	buf := wire.GetBuf(n)
+	finishReply(buf)
+}
+
+func okDirectSink(n int) {
+	finishReply(wire.GetBuf(n))
+}
+
+func okFreeHelper(n int) {
+	reply := &wire.GatherReply{}
+	reply.Dense = wire.GetFloat32(n)
+	wire.FreeGatherReply(reply)
+}
+
+func suppressedHandoff(n int) []float32 {
+	//lint:escape poolpair the caller in this fixture recycles the slice itself
+	return wire.GetFloat32(n)
+}
+
+// finishReply writes the frame and recycles the buffer, so the pass
+// treats it as a releasing sink.
+func finishReply(b []byte) {
+	wire.PutBuf(b)
+}
+
+func process(s []float32) {}

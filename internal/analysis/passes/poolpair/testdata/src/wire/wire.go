@@ -1,0 +1,36 @@
+// Package wire is the poolpair fixture's pool vocabulary: the
+// Get*/Put* slice pools, the Free* struct recycler and the tracked
+// reply fields the pass matches by name, standing in for the real wire
+// package (matched by package name, not path).
+package wire
+
+// GetFloat32 draws a float32 slice from the pool.
+func GetFloat32(n int) []float32 { return make([]float32, n) }
+
+// PutFloat32 returns a slice to the pool.
+func PutFloat32(s []float32) {}
+
+// GetInt64 draws an int64 slice from the pool.
+func GetInt64(n int) []int64 { return make([]int64, n) }
+
+// PutInt64 returns a slice to the pool.
+func PutInt64(s []int64) {}
+
+// GetBuf draws a byte buffer from the pool.
+func GetBuf(n int) []byte { return make([]byte, n) }
+
+// PutBuf returns a buffer to the pool.
+func PutBuf(b []byte) {}
+
+// GatherReply carries pooled slices in its tracked fields.
+type GatherReply struct {
+	Pooled []float32
+	Dense  []float32
+}
+
+// FreeGatherReply recycles the reply's tracked fields.
+func FreeGatherReply(r *GatherReply) {
+	PutFloat32(r.Pooled)
+	PutFloat32(r.Dense)
+	r.Pooled, r.Dense = nil, nil
+}

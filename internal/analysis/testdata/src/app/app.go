@@ -1,0 +1,9 @@
+// Package app is the loader fixture's root: it imports the lib fixture
+// through its full module path, so typechecking it exercises the
+// loader's recursive module-internal import resolution.
+package app
+
+import "repro/internal/analysis/testdata/src/lib"
+
+// Double leans on lib so the import is not vestigial.
+func Double() int { return 2 * lib.Answer() }

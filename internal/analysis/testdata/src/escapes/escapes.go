@@ -1,0 +1,20 @@
+// Package escapes is the framework fixture for //lint:escape hygiene:
+// one suppression of each kind — covering, unused, malformed, naming an
+// unknown pass, and missing its reason — driven by a fake pass in the
+// framework test that reports on the Covered and NoReason lines.
+package escapes
+
+//lint:escape demo covered by the fake demo pass in the framework test
+var Covered = 1
+
+//lint:escape demo nothing on this line ever violates the demo invariant
+var Unused = 2
+
+//lint:escape
+var Malformed = 3
+
+//lint:escape nosuchpass a reason does not save an unknown pass name
+var Unknown = 4
+
+//lint:escape demo
+var NoReason = 5

@@ -1,0 +1,7 @@
+// Package lib is the loader fixture's dependency: a module-internal
+// package the app fixture imports, proving the loader resolves
+// intra-module imports from source.
+package lib
+
+// Answer is exported so the app fixture has something typed to import.
+func Answer() int { return 42 }

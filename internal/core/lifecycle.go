@@ -95,6 +95,7 @@ func LifecycleTable(short bool) (*Table, error) {
 		return nil, err
 	}
 	defer admin.Close()
+	//lint:escape ctxflow the lifecycle experiment driver is a CLI entry point; it mints the root deadline for the whole run
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
 

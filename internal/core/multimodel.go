@@ -83,6 +83,7 @@ func (v *multiModelVariant) serve(md *serving.MultiDeployment, n int) int {
 			req.Tables = append(req.Tables, serving.TableBatch{Indices: b.Indices, Offsets: b.Offsets})
 		}
 		var reply serving.PredictReply
+		//lint:escape ctxflow the experiment's query loop is the top of its call tree; no caller context exists
 		if err := md.Predict(context.Background(), req, &reply); err != nil {
 			failed++
 		}
@@ -187,6 +188,7 @@ func MultiModelTable() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	//lint:escape ctxflow experiment driver repartition; the CLI run itself is the root
 	if err := md.Repartition(context.Background(), varA.name, winA, newBoundsA); err != nil {
 		return nil, err
 	}
@@ -208,6 +210,7 @@ func MultiModelTable() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	//lint:escape ctxflow experiment driver repartition; the CLI run itself is the root
 	if err := md.Repartition(context.Background(), varB.name, winB, newBoundsB); err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -50,7 +51,8 @@ func StressTable() (*Table, error) {
 			}
 			return req
 		}
-		res, err := serving.StressTest(shard, newReq, serving.StressOptions{
+		//lint:escape ctxflow the CLI stress driver is the top of its call tree; there is no caller context to inherit
+		res, err := serving.StressTest(context.Background(), shard, newReq, serving.StressOptions{
 			MaxConcurrency:   16,
 			RequestsPerLevel: 128,
 		})

@@ -1,0 +1,15 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/analysis/leakcheck"
+)
+
+// TestMain guards the package's goroutine hygiene: scenario runs spin
+// up whole serving stacks (pools, autoscalers, wire servers) and every
+// one must be torn down when the run ends, or the leaked stack fails
+// the whole test binary.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

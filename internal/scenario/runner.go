@@ -448,6 +448,7 @@ func (r *runner) drive() error {
 		go func() {
 			defer wg.Done()
 			defer v.inflight.Done()
+			//lint:escape ctxflow each open-loop query is an independent client with its own deadline root
 			ctx, cancel := context.WithTimeout(context.Background(), timeout)
 			defer cancel()
 			var reply serving.PredictReply
@@ -618,6 +619,7 @@ func (r *runner) apply(e *Event) error {
 			counts[t] = st.Counts
 		}
 		var reply serving.AdminDeployReply
+		//lint:escape ctxflow timeline events fire from the scenario clock, not from a request; each is its own root
 		err = r.admin.Deploy(context.Background(), &serving.AdminDeployRequest{
 			Name: v.spec.Name, Config: v.cfg, Seed: v.spec.Seed,
 			Counts: counts, Boundaries: ms.Boundaries, Options: ms.Options,
@@ -646,6 +648,7 @@ func (r *runner) apply(e *Event) error {
 			v.scaler.RemoveModelShards(e.Model)
 		}
 		v.inflight.Wait()
+		//lint:escape ctxflow timeline events fire from the scenario clock, not from a request; each is its own root
 		if _, err := r.admin.Undeploy(context.Background(), e.Model); err != nil {
 			return fmt.Errorf("scenario: undeploy %q: %w", e.Model, err)
 		}
@@ -674,6 +677,7 @@ func (r *runner) apply(e *Event) error {
 		if err != nil {
 			return err
 		}
+		//lint:escape ctxflow timeline events fire from the scenario clock, not from a request; each is its own root
 		if err := r.md.Repartition(context.Background(), e.Model, window, boundaries); err != nil {
 			return fmt.Errorf("scenario: repartition %q: %w", e.Model, err)
 		}
@@ -713,6 +717,7 @@ func (r *runner) snapshotEpochs() map[string]EpochInfo {
 // result assembles the measurement into a Result, folding in the control
 // plane's final per-model status over the admin API.
 func (r *runner) result() (*Result, error) {
+	//lint:escape ctxflow the end-of-run status sweep outlives every scenario deadline by design
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	status, err := r.admin.Status(ctx, "")

@@ -513,7 +513,7 @@ func TestStressPredictThroughBatcher(t *testing.T) {
 		seed++
 		return makeRequest(cfg, gen, seed)
 	}
-	res, err := StressPredict(ld, newReq, StressOptions{
+	res, err := StressPredict(context.Background(), ld, newReq, StressOptions{
 		MaxConcurrency:   4,
 		RequestsPerLevel: 16,
 	})

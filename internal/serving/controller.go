@@ -192,6 +192,7 @@ func (c *Controller) Deploy(ctx context.Context, spec ModelSpec) error {
 	// expired while building is torn down, never published, and its name
 	// stays free — so a client that timed out can safely retry.
 	if err := ctx.Err(); err != nil {
+		//lint:escape ctxflow teardown of the half-built deployment must not inherit the already-expired deploy ctx
 		_ = ld.Shutdown(context.Background())
 		return fmt.Errorf("serving: deploying model %q: %w", name, err)
 	}

@@ -48,6 +48,7 @@ func TestReplicaPoolFailsOverToHealthyReplica(t *testing.T) {
 	}
 	dead := &flakyClient{failures: 1 << 30, inner: healthy}
 	pool := NewReplicaPool(dead, healthy)
+	defer pool.Close()
 	req := &GatherRequest{Indices: []int64{1, 2}, Offsets: []int32{0}}
 	// Every call must succeed despite the dead replica in rotation.
 	for i := 0; i < 10; i++ {
@@ -73,6 +74,7 @@ func TestReplicaPoolFailoverResetsReply(t *testing.T) {
 	// Two replicas: the round robin must hit the corrupting one first at
 	// least every other call, so run several calls and check each reply.
 	pool := NewReplicaPool(corruptingClient{}, healthy)
+	defer pool.Close()
 	req := &GatherRequest{Indices: []int64{1}, Offsets: []int32{0}}
 	for i := 0; i < 6; i++ {
 		var reply GatherReply
@@ -89,6 +91,7 @@ func TestReplicaPoolAllReplicasDown(t *testing.T) {
 	dead1 := &flakyClient{failures: 1 << 30}
 	dead2 := &flakyClient{failures: 1 << 30}
 	pool := NewReplicaPool(dead1, dead2)
+	defer pool.Close()
 	var reply GatherReply
 	err := pool.Gather(bg, &GatherRequest{Indices: []int64{0}, Offsets: []int32{0}}, &reply)
 	if err == nil {
@@ -104,6 +107,7 @@ func TestReplicaPoolTransientFailureRecovers(t *testing.T) {
 	healthy, _ := NewEmbeddingShard(0, 0, tab, 0, 100)
 	flaky := &flakyClient{failures: 2, inner: healthy}
 	pool := NewReplicaPool(flaky)
+	defer pool.Close()
 	req := &GatherRequest{Indices: []int64{1}, Offsets: []int32{0}}
 	var reply GatherReply
 	// Single replica: first calls fail outright (no other replica).
@@ -142,6 +146,7 @@ func (healthyPredict) Predict(ctx context.Context, req *PredictRequest, reply *P
 func TestPredictPoolFailsOver(t *testing.T) {
 	dead := &failingPredict{}
 	pool := NewPredictPool(dead, healthyPredict{})
+	defer pool.Close()
 	req := &PredictRequest{BatchSize: 1, DenseDim: 1, Dense: []float32{0}}
 	// Pull model: whichever idle worker claims a task serves it, so drive
 	// a concurrent burst — the backlog forces every worker (the dead
@@ -168,6 +173,7 @@ func TestPredictPoolFailsOver(t *testing.T) {
 		t.Fatal("the dead replica's workers never pulled a predict")
 	}
 	allDead := NewPredictPool(&failingPredict{}, &failingPredict{})
+	defer allDead.Close()
 	var reply PredictReply
 	if err := allDead.Predict(bg, req, &reply); err == nil ||
 		!strings.Contains(err.Error(), "all 2 predict replicas failed") {
@@ -203,6 +209,7 @@ func (appendingPredict) Predict(ctx context.Context, req *PredictRequest, reply 
 func TestPredictPoolFailoverResetsReply(t *testing.T) {
 	corrupt := &corruptingPredict{}
 	pool := NewPredictPool(corrupt, appendingPredict{})
+	defer pool.Close()
 	req := &PredictRequest{BatchSize: 1, DenseDim: 1, Dense: []float32{0}}
 	var wg sync.WaitGroup
 	for i := 0; i < 64; i++ {
@@ -263,11 +270,17 @@ func TestPredictFailsWhenShardUnavailable(t *testing.T) {
 	// dense shard must surface the failure. Building the broken epoch
 	// from the live one exercises the same path a bad repartition would.
 	rt := ld.Table()
+	// Publishing the hand-assembled epoch below displaces this built one,
+	// so ld.Close (which closes only the current epoch) will never reach
+	// its shard units — release them explicitly once the test is done.
+	defer rt.Close()
 	clients := make([][]GatherClient, len(rt.Clients))
 	for t2 := range rt.Clients {
 		clients[t2] = append([]GatherClient(nil), rt.Clients[t2]...)
 	}
-	clients[0][0] = NewReplicaPool(&flakyClient{failures: 1 << 30})
+	brokenPool := NewReplicaPool(&flakyClient{failures: 1 << 30})
+	defer brokenPool.Close()
+	clients[0][0] = brokenPool
 	broken, err := NewRoutingTable(rt.Epoch+1, cfg, rt.Pre, rt.Boundaries, clients)
 	if err != nil {
 		t.Fatal(err)

@@ -474,6 +474,12 @@ func TestLifecycleUndeployDrainTimeout(t *testing.T) {
 	if rt := md.Router.LoadModel("b"); rt != nil {
 		t.Fatal("model b still registered after undeploy")
 	}
+	// Undeploy deliberately leaked the undrainable epoch; now that the
+	// pin is gone it drains instantly, so reclaim its shard workers.
+	if err := pinned.Drain(bg); err != nil {
+		t.Fatal(err)
+	}
+	pinned.Close()
 }
 
 // TestLifecycleAutoscalerBinding checks the controller keeps the

@@ -1,0 +1,14 @@
+package serving
+
+import (
+	"testing"
+
+	"repro/internal/analysis/leakcheck"
+)
+
+// TestMain guards the package's goroutine hygiene: every replica pool
+// worker, autoscaler loop, batcher and wire server a test starts must
+// be stopped by that test, or the leaked stack fails the whole run.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

@@ -109,6 +109,7 @@ func BuildMulti(specs ...ModelSpec) (*MultiDeployment, error) {
 	})
 	md.ctrl = &Controller{md: md}
 	for _, spec := range specs {
+		//lint:escape ctxflow constructor-time deploys have no caller context; NewMultiModel predates any request
 		if err := md.ctrl.Deploy(context.Background(), spec); err != nil {
 			md.Close()
 			return nil, err

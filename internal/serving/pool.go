@@ -307,7 +307,10 @@ func (p *pullPool[C, Req, Reply]) add(c C) {
 // mid-call finishes (and delivers) its current task first, so scale-down
 // never loses a gather. Ties (e.g. a pool that has served no traffic)
 // break toward the newest replica, preserving the previous LIFO
-// behavior. Refuses to empty the pool.
+// behavior. Refuses to empty the pool, and never takes the only replica
+// not marked dead by fault injection: scale-in racing a kill would
+// otherwise leave a pool of dead replicas and fail callers until the
+// revive, even though a live replica existed the whole time.
 func (p *pullPool[C, Req, Reply]) remove() (C, bool) {
 	var zero C
 	p.mu.Lock()
@@ -315,12 +318,25 @@ func (p *pullPool[C, Req, Reply]) remove() (C, bool) {
 		p.mu.Unlock()
 		return zero, false
 	}
+	liveCount := 0
+	for _, rep := range p.replicas {
+		if !rep.dead.Load() {
+			liveCount++
+		}
+	}
 	now := time.Now()
-	coldest, coldRate := 0, p.replicas[0].utilization(now)
-	for i := 1; i < len(p.replicas); i++ {
-		if u := p.replicas[i].utilization(now); u <= coldRate {
+	coldest, coldRate := -1, 0.0
+	for i, rep := range p.replicas {
+		if liveCount == 1 && !rep.dead.Load() {
+			continue // the last live replica is not a scale-in candidate
+		}
+		if u := rep.utilization(now); coldest < 0 || u <= coldRate {
 			coldest, coldRate = i, u
 		}
+	}
+	if coldest < 0 { // unreachable: len>1 and at most one live excluded
+		p.mu.Unlock()
+		return zero, false
 	}
 	rep := p.replicas[coldest]
 	p.replicas = append(p.replicas[:coldest], p.replicas[coldest+1:]...)
@@ -616,8 +632,9 @@ func (p *ReplicaPool) Add(c GatherClient) { p.p.add(c) }
 // Remove drops the coldest replica — lowest per-replica utilization
 // (busy time over pool lifetime), ties toward the newest — and returns
 // it (nil when the pool would become empty — a shard always keeps one
-// replica). Its workers finish any claimed task before exiting, so no
-// gather is lost.
+// replica). The sole replica not marked dead by fault injection is never
+// chosen, so scale-in cannot strand callers on an all-dead pool. Its
+// workers finish any claimed task before exiting, so no gather is lost.
 func (p *ReplicaPool) Remove() GatherClient {
 	c, ok := p.p.remove()
 	if !ok {
@@ -1093,6 +1110,7 @@ func (a *LiveAutoscaler) EvaluateModelRepartition(mr *ModelRepartition, now time
 		// the reuse report feeds the policy so a cheap (fully cached)
 		// swap can re-trigger on the shorter cached interval.
 		var rep SwapReport
+		//lint:escape ctxflow the autoscaler's swap runs on its own detached control loop, not under any request
 		rep, err = mr.Deployment.RepartitionReport(context.Background(), stats, boundaries)
 		if err == nil {
 			mr.Policy.NoteSwap(name, rep.Cheap())

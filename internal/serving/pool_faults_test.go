@@ -24,7 +24,9 @@ func poolFixture(t *testing.T, n int) *ReplicaPool {
 		}
 		replicas = append(replicas, shard)
 	}
-	return NewReplicaPool(replicas...)
+	pool := NewReplicaPool(replicas...)
+	t.Cleanup(pool.Close)
+	return pool
 }
 
 // TestKillReplicaFailsOverWithoutClientErrors is the fault-injection

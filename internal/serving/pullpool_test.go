@@ -37,13 +37,15 @@ func (c *countedGather) Gather(ctx context.Context, req *GatherRequest, reply *G
 // TestPullPoolCountedOracleUnderChurn drives concurrent gathers through a
 // pool whose replica set is being scaled up, scaled down and
 // killed/revived mid-flight, and reconciles the books: every caller
-// succeeds exactly once (replica 0 is never killed nor removable, so
-// failover always has a live target), the replicas' combined serve count
+// succeeds exactly once (at most one replica is dead at a time and
+// scale-in never removes the last live one, so failover always has a
+// live target), the replicas' combined serve count
 // equals the callers' success count (nothing lost, nothing duplicated),
 // and no reply is ever corrupted by a failed attempt.
 func TestPullPoolCountedOracleUnderChurn(t *testing.T) {
 	anchor := &countedGather{}
 	pool := NewReplicaPool(anchor)
+	defer pool.Close()
 	clients := []*countedGather{anchor} // every client ever added
 	var clientsMu sync.Mutex
 
@@ -66,7 +68,7 @@ func TestPullPoolCountedOracleUnderChurn(t *testing.T) {
 				clientsMu.Unlock()
 				pool.Add(c)
 			} else {
-				pool.Remove() // pops the newest; never empties the pool
+				pool.Remove() // coldest-but-never-last-live; never empties the pool
 			}
 			time.Sleep(200 * time.Microsecond)
 		}
@@ -143,6 +145,7 @@ func TestPullPoolMonolithEquivalence(t *testing.T) {
 	r1, _ := NewEmbeddingShard(0, 0, tab, 0, 64)
 	r2, _ := NewEmbeddingShard(0, 0, tab, 0, 64)
 	pool := NewReplicaPool(r1, r2)
+	defer pool.Close()
 	rng := rand.New(rand.NewSource(3))
 	for i := 0; i < 50; i++ {
 		n := 1 + rng.Intn(4)
@@ -193,6 +196,7 @@ func (b *wedgedGather) Gather(ctx context.Context, req *GatherRequest, reply *Ga
 func TestPullPoolBackpressureTypedError(t *testing.T) {
 	wedged := &wedgedGather{started: make(chan struct{}, 4), release: make(chan struct{})}
 	pool := NewReplicaPoolOptions(PoolOptions{QueueCapacity: 1, WorkersPerReplica: 1}, wedged)
+	defer pool.Close() // after the release below unwedges the worker
 	defer close(wedged.release)
 	req := &GatherRequest{Indices: []int64{0}, Offsets: []int32{0}}
 	go func() { // occupies the single worker
@@ -230,6 +234,7 @@ func TestPullPoolBackpressureTypedError(t *testing.T) {
 func TestPullPoolAbandonOnContext(t *testing.T) {
 	wedged := &wedgedGather{started: make(chan struct{}, 4), release: make(chan struct{})}
 	pool := NewReplicaPoolOptions(PoolOptions{QueueCapacity: 8, WorkersPerReplica: 1}, wedged)
+	defer pool.Close()
 	req := &GatherRequest{Indices: []int64{0}, Offsets: []int32{0}}
 	go func() {
 		var reply GatherReply

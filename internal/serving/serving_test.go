@@ -242,6 +242,7 @@ func TestPredictPoolOverTCP(t *testing.T) {
 	}
 	defer client.Close()
 	pool := NewPredictPool(client, mono) // mixed transports round-robin
+	defer pool.Close()
 	for i := 0; i < 4; i++ {
 		req := makeRequest(cfg, gen, uint64(100+i))
 		var reply PredictReply
@@ -319,6 +320,7 @@ func TestReplicaPoolSharesLoadAndScaling(t *testing.T) {
 	s1, _ := NewEmbeddingShard(0, 0, tab, 0, 10)
 	s2, _ := NewEmbeddingShard(0, 0, tab, 0, 10)
 	pool := NewReplicaPool(s1, s2)
+	defer pool.Close()
 	req := &GatherRequest{Indices: []int64{1}, Offsets: []int32{0}}
 	// Pull model: any idle worker may claim a gather, so distribution is
 	// load-sharing rather than strict round robin — under enough
@@ -372,6 +374,7 @@ func TestLiveAutoscalerEvaluate(t *testing.T) {
 	tab, _ := embedding.NewRandomTable("t", 10, 2, 1)
 	base, _ := NewEmbeddingShard(0, 0, tab, 0, 10)
 	pool := NewReplicaPool(base)
+	defer pool.Close()
 	spawned := 0
 	sh := &AutoscaledShard{
 		Name:   "s",

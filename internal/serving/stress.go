@@ -60,13 +60,13 @@ type StressResult struct {
 // StressTest ramps closed-loop concurrency against the client, measuring
 // sustained throughput and P95 at each level, and stops at the tail-latency
 // knee. newReq must return a fresh request for every call (requests may be
-// issued concurrently).
-func StressTest(client GatherClient, newReq func() *GatherRequest, opts StressOptions) (*StressResult, error) {
+// issued concurrently). Canceling ctx aborts the ramp between levels and
+// fails in-flight gathers through the usual RPC cancellation path.
+func StressTest(ctx context.Context, client GatherClient, newReq func() *GatherRequest, opts StressOptions) (*StressResult, error) {
 	if client == nil || newReq == nil {
 		return nil, fmt.Errorf("serving: stress test needs a client and a request generator")
 	}
-	ctx := context.Background()
-	return stressRamp(func() error {
+	return stressRamp(ctx, func() error {
 		var reply GatherReply
 		return client.Gather(ctx, newReq(), &reply)
 	}, opts)
@@ -76,24 +76,28 @@ func StressTest(client GatherClient, newReq func() *GatherRequest, opts StressOp
 // the dense shard or its dynamic batcher — so the knee of the end-to-end
 // predict pipeline (gather fan-out + fused dense forward) can be measured
 // the same way sparse shards are.
-func StressPredict(client PredictClient, newReq func() *PredictRequest, opts StressOptions) (*StressResult, error) {
+func StressPredict(ctx context.Context, client PredictClient, newReq func() *PredictRequest, opts StressOptions) (*StressResult, error) {
 	if client == nil || newReq == nil {
 		return nil, fmt.Errorf("serving: stress test needs a client and a request generator")
 	}
-	ctx := context.Background()
-	return stressRamp(func() error {
+	return stressRamp(ctx, func() error {
 		var reply PredictReply
 		return client.Predict(ctx, newReq(), &reply)
 	}, opts)
 }
 
 // stressRamp is the shared closed-loop ramp: call issues one request.
-func stressRamp(call func() error, opts StressOptions) (*StressResult, error) {
+// The ramp checks ctx between concurrency levels so a canceled stress
+// run stops instead of climbing to MaxConcurrency.
+func stressRamp(ctx context.Context, call func() error, opts StressOptions) (*StressResult, error) {
 	opts.defaults()
 	result := &StressResult{}
 	var baselineP95 time.Duration
 
 	for conc := 1; conc <= opts.MaxConcurrency; conc *= 2 {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("serving: stress test canceled before concurrency %d: %w", conc, err)
+		}
 		rec := metrics.NewLatencyRecorder(opts.RequestsPerLevel)
 		var wg sync.WaitGroup
 		var mu sync.Mutex

@@ -42,7 +42,7 @@ func TestStressTestFindsCapacity(t *testing.T) {
 	newReq := func() *GatherRequest {
 		return &GatherRequest{Indices: []int64{0}, Offsets: []int32{0}}
 	}
-	res, err := StressTest(client, newReq, StressOptions{
+	res, err := StressTest(context.Background(), client, newReq, StressOptions{
 		MaxConcurrency:   32,
 		RequestsPerLevel: 64,
 		KneeFactor:       3,
@@ -82,7 +82,7 @@ func TestStressTestOnRealShard(t *testing.T) {
 		v := n.Add(1)
 		return &GatherRequest{Indices: []int64{v % 10_000, (v * 7) % 10_000}, Offsets: []int32{0}}
 	}
-	res, err := StressTest(shard, newReq, StressOptions{
+	res, err := StressTest(context.Background(), shard, newReq, StressOptions{
 		MaxConcurrency:   8,
 		RequestsPerLevel: 64,
 	})
@@ -99,7 +99,7 @@ func TestStressTestOnRealShard(t *testing.T) {
 }
 
 func TestStressTestValidation(t *testing.T) {
-	if _, err := StressTest(nil, nil, StressOptions{}); err == nil {
+	if _, err := StressTest(context.Background(), nil, nil, StressOptions{}); err == nil {
 		t.Fatal("want validation error")
 	}
 }
@@ -114,7 +114,7 @@ func TestStressTestPropagatesErrors(t *testing.T) {
 	newReq := func() *GatherRequest {
 		return &GatherRequest{Indices: []int64{0}, Offsets: []int32{0}}
 	}
-	if _, err := StressTest(failingClient{}, newReq, StressOptions{}); err == nil {
+	if _, err := StressTest(context.Background(), failingClient{}, newReq, StressOptions{}); err == nil {
 		t.Fatal("want injected failure")
 	}
 }
@@ -130,10 +130,11 @@ func TestReplicaScalingIncreasesThroughput(t *testing.T) {
 	}
 	measure := func(replicas int) float64 {
 		pool := NewReplicaPool()
+		defer pool.Close()
 		for i := 0; i < replicas; i++ {
 			pool.Add(newCapacityLimitedClient(1, 2*time.Millisecond))
 		}
-		res, err := StressTest(pool, newReq, StressOptions{
+		res, err := StressTest(context.Background(), pool, newReq, StressOptions{
 			MaxConcurrency:   16,
 			RequestsPerLevel: 96,
 			KneeFactor:       10,

@@ -186,7 +186,9 @@ func CtxDeadlineNanos(ctx context.Context) int64 {
 // returned cancel func must always be called.
 func DeadlineContext(nanos int64) (context.Context, context.CancelFunc) {
 	if nanos > 0 {
+		//lint:escape ctxflow the server-side root IS the wire deadline; the caller's context lives in another process
 		return context.WithDeadline(context.Background(), time.Unix(0, nanos))
 	}
+	//lint:escape ctxflow no deadline on the wire means an unbounded server-side root, canceled when the conn drops
 	return context.WithCancel(context.Background())
 }
